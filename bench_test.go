@@ -1,0 +1,282 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus ablation benches for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark computes its figure once at full fidelity (~64 index
+// partitions per real block), prints the paper-style table, and reports
+// the headline numbers as benchmark metrics. Figures are cached across
+// b.N iterations — the real work happens on the first run.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchRunner    = experiments.NewRunner()
+	benchFigures   = map[string]*experiments.Figure{}
+	benchFiguresMu sync.Mutex
+	benchPrintOnce sync.Map
+)
+
+// figure computes (once) and returns the named figure.
+func figure(b *testing.B, id string, run func() (*experiments.Figure, error)) *experiments.Figure {
+	b.Helper()
+	benchFiguresMu.Lock()
+	defer benchFiguresMu.Unlock()
+	if f, ok := benchFigures[id]; ok {
+		return f
+	}
+	f, err := run()
+	if err != nil {
+		b.Fatalf("%s: %v", id, err)
+	}
+	benchFigures[id] = f
+	return f
+}
+
+// printFigure prints the paper-style table once per process.
+func printFigure(f *experiments.Figure) {
+	if _, done := benchPrintOnce.LoadOrStore(f.ID, true); !done {
+		fmt.Println(f)
+	}
+}
+
+// metric reports one cell of a figure as a benchmark metric.
+func metric(b *testing.B, f *experiments.Figure, series, x, unit string) {
+	for _, s := range f.Series {
+		if s.Label != series {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				b.ReportMetric(p.Seconds, unit)
+				return
+			}
+		}
+	}
+}
+
+func benchFigure(b *testing.B, id string, run func() (*experiments.Figure, error),
+	report func(*experiments.Figure)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f := figure(b, id, run)
+		printFigure(f)
+		if report != nil && i == 0 {
+			report(f)
+		}
+	}
+}
+
+// --- Figure 4: upload times ---
+
+func BenchmarkFig4aUploadUserVisits(b *testing.B) {
+	benchFigure(b, "Fig4a", benchRunner.Fig4a, func(f *experiments.Figure) {
+		metric(b, f, "Hadoop", "0 idx", "hadoop_s")
+		metric(b, f, "HAIL", "3 idx", "hail3idx_s")
+		metric(b, f, "Hadoop++", "1 idx", "hadooppp1idx_s")
+	})
+}
+
+func BenchmarkFig4bUploadSynthetic(b *testing.B) {
+	benchFigure(b, "Fig4b", benchRunner.Fig4b, func(f *experiments.Figure) {
+		metric(b, f, "Hadoop", "0 idx", "hadoop_s")
+		metric(b, f, "HAIL", "3 idx", "hail3idx_s")
+	})
+}
+
+func BenchmarkFig4cReplication(b *testing.B) {
+	benchFigure(b, "Fig4c", benchRunner.Fig4c, func(f *experiments.Figure) {
+		metric(b, f, "Hadoop", "r=3", "hadoop_r3_s")
+		metric(b, f, "HAIL", "r=6", "hail_r6_s")
+	})
+}
+
+// --- Table 2: scale-up ---
+
+func BenchmarkTable2aScaleUpUserVisits(b *testing.B) {
+	benchFigure(b, "Table2a", benchRunner.Table2a, func(f *experiments.Figure) {
+		metric(b, f, "SystemSpeedup", "m1.large", "speedup_large")
+		metric(b, f, "SystemSpeedup", "physical", "speedup_physical")
+	})
+}
+
+func BenchmarkTable2bScaleUpSynthetic(b *testing.B) {
+	benchFigure(b, "Table2b", benchRunner.Table2b, func(f *experiments.Figure) {
+		metric(b, f, "SystemSpeedup", "m1.large", "speedup_large")
+		metric(b, f, "SystemSpeedup", "physical", "speedup_physical")
+	})
+}
+
+// --- Figure 5: scale-out ---
+
+func BenchmarkFig5ScaleOut(b *testing.B) {
+	benchFigure(b, "Fig5", benchRunner.Fig5, func(f *experiments.Figure) {
+		metric(b, f, "HAIL Syn", "100 nodes", "hail_syn_100_s")
+		metric(b, f, "Hadoop Syn", "100 nodes", "hadoop_syn_100_s")
+	})
+}
+
+// --- Figure 6: Bob's workload without HailSplitting ---
+
+func BenchmarkFig6aBobJobRuntimes(b *testing.B) {
+	benchFigure(b, "Fig6a", benchRunner.Fig6a, func(f *experiments.Figure) {
+		metric(b, f, "Hadoop", "Bob-Q1", "hadoop_q1_s")
+		metric(b, f, "HAIL", "Bob-Q1", "hail_q1_s")
+	})
+}
+
+func BenchmarkFig6bBobRecordReader(b *testing.B) {
+	benchFigure(b, "Fig6b", benchRunner.Fig6b, func(f *experiments.Figure) {
+		metric(b, f, "Hadoop", "Bob-Q1", "hadoop_q1_ms")
+		metric(b, f, "HAIL", "Bob-Q1", "hail_q1_ms")
+	})
+}
+
+func BenchmarkFig6cOverhead(b *testing.B) {
+	benchFigure(b, "Fig6c", benchRunner.Fig6c, func(f *experiments.Figure) {
+		metric(b, f, "HAIL", "Bob-Q1", "hail_q1_overhead_s")
+	})
+}
+
+// --- Figure 7: Synthetic workload without HailSplitting ---
+
+func BenchmarkFig7aSynJobRuntimes(b *testing.B) {
+	benchFigure(b, "Fig7a", benchRunner.Fig7a, func(f *experiments.Figure) {
+		metric(b, f, "Hadoop", "Syn-Q1a", "hadoop_q1a_s")
+		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_s")
+	})
+}
+
+func BenchmarkFig7bSynRecordReader(b *testing.B) {
+	benchFigure(b, "Fig7b", benchRunner.Fig7b, func(f *experiments.Figure) {
+		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_ms")
+		metric(b, f, "HAIL", "Syn-Q2c", "hail_q2c_ms")
+	})
+}
+
+func BenchmarkFig7cSynOverhead(b *testing.B) {
+	benchFigure(b, "Fig7c", benchRunner.Fig7c, func(f *experiments.Figure) {
+		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_overhead_s")
+	})
+}
+
+// --- Figure 8: fault tolerance ---
+
+func BenchmarkFig8FaultTolerance(b *testing.B) {
+	benchFigure(b, "Fig8", benchRunner.Fig8, func(f *experiments.Figure) {
+		metric(b, f, "Slowdown %", "Hadoop", "hadoop_slowdown_pct")
+		metric(b, f, "Slowdown %", "HAIL", "hail_slowdown_pct")
+		metric(b, f, "Slowdown %", "HAIL-1Idx", "hail1idx_slowdown_pct")
+	})
+}
+
+// --- Figure 9: HailSplitting ---
+
+func BenchmarkFig9aBobWithSplitting(b *testing.B) {
+	benchFigure(b, "Fig9a", benchRunner.Fig9a, func(f *experiments.Figure) {
+		metric(b, f, "HAIL", "Bob-Q2", "hail_q2_s")
+		// The paper's headline: up to 68× over Hadoop.
+		var hadoop, hail float64
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				if p.X == "Bob-Q2" {
+					switch s.Label {
+					case "Hadoop":
+						hadoop = p.Seconds
+					case "HAIL":
+						hail = p.Seconds
+					}
+				}
+			}
+		}
+		if hail > 0 {
+			b.ReportMetric(hadoop/hail, "speedup_q2_x")
+		}
+	})
+}
+
+func BenchmarkFig9bSynWithSplitting(b *testing.B) {
+	benchFigure(b, "Fig9b", benchRunner.Fig9b, func(f *experiments.Figure) {
+		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_s")
+		metric(b, f, "HAIL", "Syn-Q2c", "hail_q2c_s")
+	})
+}
+
+func BenchmarkFig9cTotalWorkload(b *testing.B) {
+	benchFigure(b, "Fig9c", benchRunner.Fig9c, func(f *experiments.Figure) {
+		var hadoopBob, hailBob, hadoopSyn, hailSyn float64
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				switch {
+				case s.Label == "Hadoop" && p.X == "Bob":
+					hadoopBob = p.Seconds
+				case s.Label == "HAIL" && p.X == "Bob":
+					hailBob = p.Seconds
+				case s.Label == "Hadoop" && p.X == "Synthetic":
+					hadoopSyn = p.Seconds
+				case s.Label == "HAIL" && p.X == "Synthetic":
+					hailSyn = p.Seconds
+				}
+			}
+		}
+		if hailBob > 0 {
+			b.ReportMetric(hadoopBob/hailBob, "bob_speedup_x")
+		}
+		if hailSyn > 0 {
+			b.ReportMetric(hadoopSyn/hailSyn, "syn_speedup_x")
+		}
+	})
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkAblationUnclusteredIndex(b *testing.B) {
+	benchFigure(b, "AblationUnclustered", benchRunner.AblationUnclusteredIndex,
+		func(f *experiments.Figure) {
+			metric(b, f, "clustered", "sel=0.031", "clustered_s")
+			metric(b, f, "unclustered", "sel=0.031", "unclustered_s")
+		})
+}
+
+func BenchmarkAblationMultiLevelIndex(b *testing.B) {
+	benchFigure(b, "AblationMultiLevel", func() (*experiments.Figure, error) {
+		return benchRunner.AblationMultiLevelIndex(), nil
+	}, func(f *experiments.Figure) {
+		metric(b, f, "single-level", "0.064GB", "single_64mb_s")
+		metric(b, f, "multi-level", "0.064GB", "multi_64mb_s")
+	})
+}
+
+func BenchmarkAblationSplitting(b *testing.B) {
+	benchFigure(b, "AblationSplitting", benchRunner.AblationSplitting,
+		func(f *experiments.Figure) {
+			metric(b, f, "splitting off", "Bob-Q2", "off_q2_s")
+			metric(b, f, "splitting on", "Bob-Q2", "on_q2_s")
+		})
+}
+
+func BenchmarkAblationLayout(b *testing.B) {
+	benchFigure(b, "AblationLayout", benchRunner.AblationLayout,
+		func(f *experiments.Figure) {
+			metric(b, f, "PAX (HAIL)", "Syn-Q1c", "pax_q1c_ms")
+			metric(b, f, "row (Hadoop++)", "Syn-Q1c", "row_q1c_ms")
+		})
+}
+
+// --- Related work (§5): full-text indexing comparison ---
+
+func BenchmarkSection5FullTextComparison(b *testing.B) {
+	benchFigure(b, "Section5FullText", benchRunner.Section5FullText,
+		func(f *experiments.Figure) {
+			metric(b, f, "full-text [15]", "20GB index only", "fulltext_20gb_s")
+			metric(b, f, "HAIL", "200GB upload+index", "hail_200gb_s")
+		})
+}

@@ -1,0 +1,72 @@
+// Command hailbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hailbench [-quick] [-only Fig4a,Fig6a,...]
+//
+// With no flags it runs every experiment at full fidelity (~64 partitions
+// per block), printing each figure as an aligned table of simulated
+// seconds. -quick uses small fixtures (coarser index granularity, same
+// code paths). -only restricts to a comma-separated list of experiment
+// IDs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use small fixtures (faster, coarser index granularity)")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. Fig4a,Fig6a)")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	if *quick {
+		r = experiments.NewQuickRunner()
+	}
+
+	type exp struct {
+		id  string
+		run func() (*experiments.Figure, error)
+	}
+	all := []exp{
+		{"Fig4a", r.Fig4a}, {"Fig4b", r.Fig4b}, {"Fig4c", r.Fig4c},
+		{"Table2a", r.Table2a}, {"Table2b", r.Table2b}, {"Fig5", r.Fig5},
+		{"Fig6a", r.Fig6a}, {"Fig6b", r.Fig6b}, {"Fig6c", r.Fig6c},
+		{"Fig7a", r.Fig7a}, {"Fig7b", r.Fig7b}, {"Fig7c", r.Fig7c},
+		{"Fig8", r.Fig8},
+		{"Fig9a", r.Fig9a}, {"Fig9b", r.Fig9b}, {"Fig9c", r.Fig9c},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := false
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		fig, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(fig)
+		fmt.Printf("(%s computed in %.1fs real time)\n\n", e.id, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Autoconfig: zero-configuration ingestion. The paper leaves two helpers
+// to future work — schema suggestion (§3.1 footnote) and a physical
+// design algorithm that picks per-replica indexes from a query workload
+// (§3.4). This example combines both: it infers the schema from raw
+// lines, derives the replica layout from a workload of annotated queries,
+// uploads, and verifies that every workload query gets an index scan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Raw log lines with no schema declared anywhere.
+	lines := workload.GenerateUserVisits(50_000, 5, workload.UserVisitsOptions{NeedleEvery: 5_000})
+
+	// 1. Infer the schema from a sample.
+	sch, err := schema.InferSchema(lines[:500], ',')
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inferred schema: %s\n", sch)
+
+	// 2. Bob's intended workload, as annotations with weights (how often
+	// he expects to run each query class).
+	annotations := []struct {
+		ann    string
+		weight float64
+	}{
+		{`@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})`, 5},
+		{`@HailQuery(filter="@1 = ` + workload.NeedleIP + `", projection={@8,@9,@4})`, 3},
+		{`@HailQuery(filter="@4 between(1,10)", projection={@8,@9,@4})`, 2},
+	}
+	var wl []advisor.QueryInfo
+	var queries []*query.Query
+	for _, a := range annotations {
+		q, err := query.ParseAnnotation(sch, a.ann)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries = append(queries, q)
+		wl = append(wl, advisor.FromQuery(q, a.weight))
+	}
+
+	// 3. Let the advisor pick the per-replica layout for replication 3.
+	layout, err := advisor.Choose(sch, wl, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("advisor:", advisor.Explain(sch, layout, wl))
+
+	// 4. Upload with the proposed layout.
+	cluster, err := hdfs.NewCluster(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &core.Client{
+		Cluster: cluster,
+		Config:  core.LayoutConfig{Schema: sch, SortColumns: layout, BlockSize: 1 << 20},
+	}
+	sum, err := client.Upload("/auto", lines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded %d rows in %d blocks with layout %v\n\n", sum.Rows, sum.Blocks, layout)
+
+	// 5. Every workload query must find a matching clustered index.
+	engine := &mapred.Engine{Cluster: cluster, Scheduling: mapred.DelayScheduling}
+	for i, q := range queries {
+		res, err := engine.Run(&mapred.Job{
+			Name: fmt.Sprintf("wl-%d", i), File: "/auto",
+			Input: &core.InputFormat{Cluster: cluster, Query: q, Splitting: true},
+			Map:   workload.PassthroughMap,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.TotalStats()
+		if st.FullScans > 0 {
+			log.Fatalf("query %d fell back to %d full scans — advisor failed", i, st.FullScans)
+		}
+		fmt.Printf("query %d: %5d rows, %d index scans, %.2f MB read\n",
+			i, len(res.Output), st.IndexScans, float64(st.BytesRead)/1e6)
+	}
+}

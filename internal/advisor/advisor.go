@@ -1,0 +1,166 @@
+// Package advisor implements a per-replica index selection algorithm —
+// the physical design algorithm §3.4 leaves as future work. Given a query
+// workload, it proposes which attribute each block replica should be
+// clustered and indexed on, respecting the replication factor the way the
+// paper's Trojan Layouts work respects it for vertical partitioning.
+//
+// The problem is weighted maximum coverage: a query benefits if *some*
+// replica carries a clustered index on one of its filter attributes
+// (§2.2: HAIL picks the replica with a suitable index at query time).
+// Greedy selection is the standard (1−1/e)-approximation and is exact
+// when queries filter on single attributes, which covers the paper's
+// workloads.
+//
+// When fewer attributes are worth indexing than there are replicas, the
+// advisor duplicates the most valuable index instead of leaving replicas
+// unsorted: duplicate indexes keep index scans alive under node failures
+// (the HAIL-1Idx effect of §6.4.3).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// QueryInfo is one workload entry: the filter attributes of a query class
+// and its relative weight (frequency, importance).
+type QueryInfo struct {
+	// FilterColumns are the 0-based attributes the query filters on; an
+	// index on any one of them serves the query.
+	FilterColumns []int
+	Weight        float64
+}
+
+// FromQuery derives a QueryInfo from a parsed annotation.
+func FromQuery(q *query.Query, weight float64) QueryInfo {
+	info := QueryInfo{Weight: weight}
+	for _, p := range q.Filter {
+		info.FilterColumns = append(info.FilterColumns, p.Column)
+	}
+	return info
+}
+
+// Choose proposes the SortColumns configuration for the given replication
+// factor. The result always has length `replicas`; entries are attribute
+// positions. An error is returned for an empty workload or invalid
+// attribute references — callers with no workload knowledge should simply
+// index the first `replicas` attributes (Bob's "index everything" default,
+// §3.4).
+func Choose(s *schema.Schema, workload []QueryInfo, replicas int) ([]int, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("advisor: replicas must be positive")
+	}
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("advisor: empty workload")
+	}
+	for _, q := range workload {
+		if q.Weight < 0 {
+			return nil, fmt.Errorf("advisor: negative weight")
+		}
+		if len(q.FilterColumns) == 0 {
+			continue // full-scan query: no index helps, any layout works
+		}
+		for _, c := range q.FilterColumns {
+			if c < 0 || c >= s.NumFields() {
+				return nil, fmt.Errorf("advisor: filter attribute %d out of range", c)
+			}
+		}
+	}
+
+	covered := make([]bool, len(workload))
+	var chosen []int
+	chosenSet := make(map[int]bool)
+	for len(chosen) < replicas {
+		bestCol, bestGain := -1, 0.0
+		for col := 0; col < s.NumFields(); col++ {
+			if chosenSet[col] {
+				continue
+			}
+			gain := 0.0
+			for qi, q := range workload {
+				if covered[qi] {
+					continue
+				}
+				for _, c := range q.FilterColumns {
+					if c == col {
+						gain += q.Weight
+						break
+					}
+				}
+			}
+			// Deterministic tie-break: lowest attribute position.
+			if gain > bestGain {
+				bestCol, bestGain = col, gain
+			}
+		}
+		if bestCol < 0 {
+			break // no remaining attribute helps any uncovered query
+		}
+		chosen = append(chosen, bestCol)
+		chosenSet[bestCol] = true
+		for qi, q := range workload {
+			for _, c := range q.FilterColumns {
+				if c == bestCol {
+					covered[qi] = true
+					break
+				}
+			}
+		}
+	}
+
+	if len(chosen) == 0 {
+		// Workload is all full scans: cluster on attribute 0 so at least
+		// one index exists for future filters, duplicate for failover.
+		chosen = []int{0}
+	}
+	// Fill the remaining replicas by duplicating the most valuable
+	// indexes in order: duplicated indexes preserve index scans under
+	// node failure (§6.4.3).
+	for i := 0; len(chosen) < replicas; i++ {
+		chosen = append(chosen, chosen[i%len(chosen)])
+	}
+	return chosen, nil
+}
+
+// Coverage reports the fraction of workload weight served by an index
+// under the given per-replica layout, for evaluating configurations.
+func Coverage(layout []int, workload []QueryInfo) float64 {
+	have := make(map[int]bool, len(layout))
+	for _, c := range layout {
+		if c >= 0 {
+			have[c] = true
+		}
+	}
+	total, served := 0.0, 0.0
+	for _, q := range workload {
+		total += q.Weight
+		for _, c := range q.FilterColumns {
+			if have[c] {
+				served += q.Weight
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return served / total
+}
+
+// Explain renders a human-readable summary of a layout proposal.
+func Explain(s *schema.Schema, layout []int, workload []QueryInfo) string {
+	names := make([]string, len(layout))
+	for i, c := range layout {
+		if c < 0 {
+			names[i] = "(unsorted)"
+		} else {
+			names[i] = s.Field(c).Name
+		}
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("replicas clustered on %v; %.0f%% of workload weight index-served",
+		names, 100*Coverage(layout, workload))
+}

@@ -1,0 +1,156 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// bobWorkload builds the advisor's view of Bob's five queries with equal
+// weights.
+func bobWorkload() []QueryInfo {
+	var out []QueryInfo
+	for _, bq := range workload.BobQueries() {
+		out = append(out, FromQuery(bq.Query, 1))
+	}
+	return out
+}
+
+func TestChooseBobWorkload(t *testing.T) {
+	s := workload.UserVisitsSchema()
+	layout, err := Choose(s, bobWorkload(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layout) != 3 {
+		t.Fatalf("layout = %v", layout)
+	}
+	// Bob's workload filters on visitDate (Q1), sourceIP (Q2, Q3) and
+	// adRevenue (Q4, Q5): the advisor must pick exactly those three — the
+	// configuration the paper uses in §6.4.1.
+	want := map[int]bool{
+		workload.UVVisitDate: true,
+		workload.UVSourceIP:  true,
+		workload.UVAdRevenue: true,
+	}
+	got := map[int]bool{}
+	for _, c := range layout {
+		got[c] = true
+	}
+	for c := range want {
+		if !got[c] {
+			t.Errorf("layout %v misses attribute %d", layout, c)
+		}
+	}
+	if cov := Coverage(layout, bobWorkload()); cov != 1 {
+		t.Errorf("coverage = %v, want 1", cov)
+	}
+}
+
+func TestChooseWeightsDriveOrder(t *testing.T) {
+	s := workload.UserVisitsSchema()
+	// adRevenue queries dominate: it must be picked first.
+	wl := []QueryInfo{
+		{FilterColumns: []int{workload.UVAdRevenue}, Weight: 10},
+		{FilterColumns: []int{workload.UVVisitDate}, Weight: 1},
+	}
+	layout, err := Choose(s, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout[0] != workload.UVAdRevenue {
+		t.Errorf("layout = %v, want adRevenue first", layout)
+	}
+}
+
+func TestChooseDuplicatesForFailover(t *testing.T) {
+	s := workload.UserVisitsSchema()
+	wl := []QueryInfo{{FilterColumns: []int{workload.UVSourceIP}, Weight: 1}}
+	layout, err := Choose(s, wl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one useful attribute: replicate its index (HAIL-1Idx) rather
+	// than leaving replicas unsorted.
+	for i, c := range layout {
+		if c != workload.UVSourceIP {
+			t.Errorf("replica %d clustered on %d, want sourceIP everywhere", i, c)
+		}
+	}
+}
+
+func TestChooseConjunctionCountsOnce(t *testing.T) {
+	s := workload.UserVisitsSchema()
+	// Bob-Q3 filters on sourceIP AND visitDate: one index on either
+	// serves it; the second pick must go to the other query's attribute.
+	wl := []QueryInfo{
+		{FilterColumns: []int{workload.UVSourceIP, workload.UVVisitDate}, Weight: 5},
+		{FilterColumns: []int{workload.UVAdRevenue}, Weight: 1},
+	}
+	layout, err := Choose(s, wl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, c := range layout {
+		got[c] = true
+	}
+	if !got[workload.UVAdRevenue] {
+		t.Errorf("layout %v should cover the adRevenue query with its second replica", layout)
+	}
+	if cov := Coverage(layout, wl); cov != 1 {
+		t.Errorf("coverage = %v", cov)
+	}
+}
+
+func TestChooseFullScanWorkload(t *testing.T) {
+	s := workload.UserVisitsSchema()
+	wl := []QueryInfo{{Weight: 1}} // no filters at all
+	layout, err := Choose(s, wl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layout) != 3 {
+		t.Fatalf("layout = %v", layout)
+	}
+}
+
+func TestChooseErrors(t *testing.T) {
+	s := workload.UserVisitsSchema()
+	if _, err := Choose(s, nil, 3); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Choose(s, bobWorkload(), 0); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := Choose(s, []QueryInfo{{FilterColumns: []int{99}, Weight: 1}}, 1); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if _, err := Choose(s, []QueryInfo{{FilterColumns: []int{0}, Weight: -1}}, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	wl := []QueryInfo{
+		{FilterColumns: []int{0}, Weight: 1},
+		{FilterColumns: []int{1}, Weight: 3},
+	}
+	if cov := Coverage([]int{0}, wl); cov != 0.25 {
+		t.Errorf("coverage = %v, want 0.25", cov)
+	}
+	if cov := Coverage([]int{0, 1}, wl); cov != 1 {
+		t.Errorf("coverage = %v, want 1", cov)
+	}
+	if cov := Coverage([]int{-1}, wl); cov != 0 {
+		t.Errorf("coverage = %v, want 0", cov)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := workload.UserVisitsSchema()
+	out := Explain(s, []int{workload.UVVisitDate, -1}, bobWorkload())
+	if out == "" {
+		t.Error("empty explanation")
+	}
+}

@@ -1,0 +1,33 @@
+package advisor_test
+
+import (
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/workload"
+)
+
+// The advisor proposes Bob's §6.4.1 configuration from his workload: one
+// replica indexed on each of visitDate, sourceIP and adRevenue.
+func ExampleChoose() {
+	sch := workload.UserVisitsSchema()
+	var wl []advisor.QueryInfo
+	for _, bq := range workload.BobQueries() {
+		wl = append(wl, advisor.FromQuery(bq.Query, 1))
+	}
+	layout, err := advisor.Choose(sch, wl, 3)
+	if err != nil {
+		panic(err)
+	}
+	// Replicas are listed in greedy-gain order: sourceIP first (it covers
+	// both Q2 and Q3), then adRevenue (Q4, Q5), then visitDate (Q1).
+	for _, col := range layout {
+		fmt.Println(sch.Field(col).Name)
+	}
+	fmt.Printf("coverage: %.0f%%\n", 100*advisor.Coverage(layout, wl))
+	// Output:
+	// sourceIP
+	// adRevenue
+	// visitDate
+	// coverage: 100%
+}

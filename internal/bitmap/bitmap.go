@@ -1,0 +1,246 @@
+// Package bitmap implements the bitmap index §3.5 names as future work:
+// "an interesting direction for future work would be to extend HAIL to
+// support additional indexes ... including bitmap indexes for low
+// cardinality domains".
+//
+// A bitmap index on a low-cardinality attribute (countryCode,
+// languageCode) stores one bitset per distinct value, one bit per row of
+// the block. Unlike the clustered index it does not require any sort
+// order, so it can be added to a replica *alongside* its clustered index
+// on a different attribute, and equality lookups on the bitmap attribute
+// cost a bitset scan instead of a full column scan. Conjunctions across
+// bitmap attributes become bit-ANDs.
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/pax"
+	"repro/internal/schema"
+)
+
+// Index is a bitmap index over one attribute of one block.
+type Index struct {
+	column  int
+	numRows int
+	keys    []schema.Value // distinct values, sorted
+	bitmaps [][]uint64     // one bitset per key, numRows bits each
+}
+
+// MaxCardinality bounds the distinct-value count a bitmap index accepts.
+// Beyond a few hundred values the dense bitmaps lose to the clustered
+// index in both size and scan cost.
+const MaxCardinality = 1024
+
+// Build creates the index for attribute col of block b. The block does
+// not need to be sorted on col (that is the point). Build fails when the
+// attribute's cardinality exceeds MaxCardinality.
+func Build(b *pax.Block, col int) (*Index, error) {
+	if col < 0 || col >= b.Schema().NumFields() {
+		return nil, fmt.Errorf("bitmap: column %d out of range", col)
+	}
+	n := b.NumRows()
+	ix := &Index{column: col, numRows: n}
+	slot := make(map[string]int)
+	words := (n + 63) / 64
+	for r := 0; r < n; r++ {
+		v := b.Value(r, col)
+		key := v.String()
+		s, ok := slot[key]
+		if !ok {
+			if len(ix.keys) >= MaxCardinality {
+				return nil, fmt.Errorf("bitmap: attribute %d exceeds cardinality bound %d",
+					col, MaxCardinality)
+			}
+			s = len(ix.keys)
+			slot[key] = s
+			ix.keys = append(ix.keys, v)
+			ix.bitmaps = append(ix.bitmaps, make([]uint64, words))
+		}
+		ix.bitmaps[s][r/64] |= 1 << (r % 64)
+	}
+	// Sort keys (with their bitmaps) for binary-searchable lookups.
+	order := make([]int, len(ix.keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return ix.keys[order[i]].Compare(ix.keys[order[j]]) < 0
+	})
+	keys := make([]schema.Value, len(order))
+	bms := make([][]uint64, len(order))
+	for i, o := range order {
+		keys[i], bms[i] = ix.keys[o], ix.bitmaps[o]
+	}
+	ix.keys, ix.bitmaps = keys, bms
+	return ix, nil
+}
+
+// Column returns the indexed attribute.
+func (ix *Index) Column() int { return ix.column }
+
+// NumRows returns the rows covered.
+func (ix *Index) NumRows() int { return ix.numRows }
+
+// Cardinality returns the number of distinct values.
+func (ix *Index) Cardinality() int { return len(ix.keys) }
+
+// Lookup returns the bitset of rows with value v, or nil when the value
+// does not occur. The returned slice must not be modified.
+func (ix *Index) Lookup(v schema.Value) []uint64 {
+	i := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i].Compare(v) >= 0 })
+	if i < len(ix.keys) && ix.keys[i].Compare(v) == 0 {
+		return ix.bitmaps[i]
+	}
+	return nil
+}
+
+// Rows expands a bitset into ascending row IDs. A nil bitset yields nil.
+func Rows(bitset []uint64) []int {
+	var out []int
+	for w, word := range bitset {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w*64+b)
+			word &^= 1 << b
+		}
+	}
+	return out
+}
+
+// And intersects two bitsets of equal length (conjunctions across bitmap
+// attributes). Either argument may be nil (empty result).
+func And(a, b []uint64) []uint64 {
+	if a == nil || b == nil {
+		return nil
+	}
+	if len(a) != len(b) {
+		panic("bitmap: And on bitsets of different blocks")
+	}
+	out := make([]uint64, len(a))
+	any := false
+	for i := range a {
+		out[i] = a[i] & b[i]
+		if out[i] != 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// Count returns the number of set bits.
+func Count(bitset []uint64) int {
+	n := 0
+	for _, w := range bitset {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// SizeBytes returns the serialized size: cardinality × numRows bits plus
+// the key directory. For a 3-letter country code over 512k rows this is
+// ~640 KB — larger than the clustered index but independent of sort order.
+func (ix *Index) SizeBytes() int {
+	data, err := ix.Marshal()
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// Binary layout: magic "HBMP", version uint16, column int32, keyType
+// uint8, numRows uint32, numKeys uint32, then per key {len uint16, key
+// string bytes, bitmap words}.
+const (
+	bitmapMagic   = "HBMP"
+	bitmapVersion = 1
+)
+
+// Marshal serializes the index. Keys are stored in their textual form to
+// keep one codepath for every type.
+func (ix *Index) Marshal() ([]byte, error) {
+	words := (ix.numRows + 63) / 64
+	out := make([]byte, 0, 19+len(ix.keys)*(2+8*words))
+	out = append(out, bitmapMagic...)
+	out = binary.LittleEndian.AppendUint16(out, bitmapVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(int32(ix.column)))
+	keyType := schema.String
+	if len(ix.keys) > 0 {
+		keyType = ix.keys[0].Type()
+	}
+	out = append(out, byte(keyType))
+	out = binary.LittleEndian.AppendUint32(out, uint32(ix.numRows))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ix.keys)))
+	for i, k := range ix.keys {
+		ks := k.String()
+		if len(ks) > math.MaxUint16 {
+			return nil, fmt.Errorf("bitmap: key too long")
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(ks)))
+		out = append(out, ks...)
+		for _, w := range ix.bitmaps[i] {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+	}
+	return out, nil
+}
+
+// Unmarshal decodes a serialized bitmap index.
+func Unmarshal(data []byte) (*Index, error) {
+	if len(data) < 19 {
+		return nil, fmt.Errorf("bitmap: too short")
+	}
+	if string(data[:4]) != bitmapMagic {
+		return nil, fmt.Errorf("bitmap: bad magic %q", data[:4])
+	}
+	p := 4
+	if v := binary.LittleEndian.Uint16(data[p:]); v != bitmapVersion {
+		return nil, fmt.Errorf("bitmap: unsupported version %d", v)
+	}
+	p += 2
+	ix := &Index{}
+	ix.column = int(int32(binary.LittleEndian.Uint32(data[p:])))
+	p += 4
+	keyType := schema.Type(data[p])
+	p++
+	ix.numRows = int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	nKeys := int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	words := (ix.numRows + 63) / 64
+	for i := 0; i < nKeys; i++ {
+		if p+2 > len(data) {
+			return nil, fmt.Errorf("bitmap: truncated key header")
+		}
+		kl := int(binary.LittleEndian.Uint16(data[p:]))
+		p += 2
+		if p+kl+8*words > len(data) {
+			return nil, fmt.Errorf("bitmap: truncated key %d", i)
+		}
+		v, err := schema.ParseValue(keyType, string(data[p:p+kl]))
+		if err != nil {
+			return nil, fmt.Errorf("bitmap: bad key: %v", err)
+		}
+		p += kl
+		bm := make([]uint64, words)
+		for w := range bm {
+			bm[w] = binary.LittleEndian.Uint64(data[p:])
+			p += 8
+		}
+		ix.keys = append(ix.keys, v)
+		ix.bitmaps = append(ix.bitmaps, bm)
+	}
+	for i := 1; i < len(ix.keys); i++ {
+		if ix.keys[i-1].Compare(ix.keys[i]) >= 0 {
+			return nil, fmt.Errorf("bitmap: keys out of order")
+		}
+	}
+	return ix, nil
+}

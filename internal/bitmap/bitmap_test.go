@@ -1,0 +1,238 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pax"
+	"repro/internal/schema"
+)
+
+var sch = schema.MustNew(
+	schema.Field{Name: "id", Type: schema.Int32},
+	schema.Field{Name: "country", Type: schema.String},
+	schema.Field{Name: "lang", Type: schema.String},
+)
+
+var countries = []string{"DEU", "USA", "FRA", "MEX", "TUR"}
+var langs = []string{"de", "en", "fr", "es", "tr"}
+
+func buildBlock(n int, seed int64) *pax.Block {
+	rng := rand.New(rand.NewSource(seed))
+	b := pax.NewBlock(sch)
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(schema.Row{
+			schema.IntVal(int32(i)),
+			schema.StringVal(countries[rng.Intn(len(countries))]),
+			schema.StringVal(langs[rng.Intn(len(langs))]),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return b
+}
+
+func TestLookupMatchesBruteForce(t *testing.T) {
+	b := buildBlock(5000, 1)
+	ix, err := Build(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Cardinality() != len(countries) {
+		t.Fatalf("cardinality = %d", ix.Cardinality())
+	}
+	for _, c := range countries {
+		rows := Rows(ix.Lookup(schema.StringVal(c)))
+		var want []int
+		for r := 0; r < b.NumRows(); r++ {
+			if b.Value(r, 1).Str() == c {
+				want = append(want, r)
+			}
+		}
+		if len(rows) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", c, len(rows), len(want))
+		}
+		for i := range want {
+			if rows[i] != want[i] {
+				t.Fatalf("%s: row %d = %d, want %d", c, i, rows[i], want[i])
+			}
+		}
+	}
+	if ix.Lookup(schema.StringVal("XXX")) != nil {
+		t.Error("absent value returned a bitset")
+	}
+}
+
+func TestConjunctionViaAnd(t *testing.T) {
+	b := buildBlock(4000, 2)
+	ixC, err := Build(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixL, err := Build(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Rows(And(ixC.Lookup(schema.StringVal("DEU")), ixL.Lookup(schema.StringVal("de"))))
+	var want []int
+	for r := 0; r < b.NumRows(); r++ {
+		if b.Value(r, 1).Str() == "DEU" && b.Value(r, 2).Str() == "de" {
+			want = append(want, r)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AND: %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AND row %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	if And(nil, ixL.Lookup(schema.StringVal("de"))) != nil {
+		t.Error("And(nil, x) should be nil")
+	}
+}
+
+func TestBuildNoSortRequired(t *testing.T) {
+	// The point of the bitmap extension: it works on a replica clustered
+	// on a *different* attribute.
+	b := buildBlock(3000, 3)
+	if _, err := b.SortBy(0); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range countries {
+		total += Count(ix.Lookup(schema.StringVal(c)))
+	}
+	if total != b.NumRows() {
+		t.Errorf("bitmaps cover %d rows, want %d", total, b.NumRows())
+	}
+}
+
+func TestCardinalityBound(t *testing.T) {
+	b := buildBlock(MaxCardinality+10, 4)
+	// Column 0 (id) has one distinct value per row: exceeds the bound.
+	if _, err := Build(b, 0); err == nil {
+		t.Error("high-cardinality attribute accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	b := buildBlock(2500, 5)
+	ix, err := Build(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ix.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != ix.Cardinality() || got.NumRows() != ix.NumRows() || got.Column() != ix.Column() {
+		t.Fatal("metadata mismatch")
+	}
+	for _, c := range countries {
+		a := Rows(ix.Lookup(schema.StringVal(c)))
+		g := Rows(got.Lookup(schema.StringVal(c)))
+		if len(a) != len(g) {
+			t.Fatalf("%s: %d vs %d rows after round trip", c, len(a), len(g))
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	b := buildBlock(500, 6)
+	ix, _ := Build(b, 1)
+	data, _ := ix.Marshal()
+	if _, err := Unmarshal(data[:10]); err == nil {
+		t.Error("truncated index accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'Z'
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBitsetInvariants(t *testing.T) {
+	f := func(seed int64, nSmall uint8) bool {
+		n := int(nSmall)%2000 + 100
+		b := buildBlock(n, seed)
+		ix, err := Build(b, 1)
+		if err != nil {
+			return false
+		}
+		// Bitmaps partition the rows: disjoint and complete.
+		seen := make([]bool, n)
+		for _, c := range countries {
+			for _, r := range Rows(ix.Lookup(schema.StringVal(c))) {
+				if r >= n || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountAndRows(t *testing.T) {
+	bs := []uint64{0b1011, 0, 1 << 63}
+	if Count(bs) != 4 {
+		t.Errorf("Count = %d", Count(bs))
+	}
+	rows := Rows(bs)
+	want := []int{0, 1, 3, 191}
+	if len(rows) != len(want) {
+		t.Fatalf("Rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("Rows[%d] = %d, want %d", i, rows[i], want[i])
+		}
+	}
+	if Rows(nil) != nil {
+		t.Error("Rows(nil) != nil")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	blk := buildBlock(64*1024, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(blk, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupAndExpand(b *testing.B) {
+	blk := buildBlock(64*1024, 8)
+	ix, err := Build(blk, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := schema.StringVal("DEU")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Rows(ix.Lookup(v))) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package core implements HAIL — the Hadoop Aggressive Indexing Library —
+// the paper's primary contribution.
+//
+// Upload side (§3): the HAIL client parses text input into typed rows
+// (separating bad records), cuts blocks at record boundaries, converts each
+// block to binary PAX and sends it through the HDFS pipeline once. Each
+// datanode in the pipeline reassembles the block in memory, sorts it on its
+// own attribute, builds a sparse clustered index, recomputes checksums and
+// flushes — so with replication three, every block is stored in three sort
+// orders with three different clustered indexes, for (almost) free.
+//
+// Query side (§4): HailInputFormat asks the namenode which replicas carry
+// an index matching the job's filter attribute (getHostsWithIndex) and
+// either builds one split per block (default) or packs all blocks of a
+// locality group into a few splits (HailSplitting, §4.3) to amortize
+// Hadoop's per-task scheduling overhead. HailRecordReader performs an
+// index scan when a matching clustered index exists — partition range
+// lookup in memory, contiguous column-range reads, post-filtering — and
+// falls back to a PAX column scan otherwise, applying the selection and
+// projection from the job's HailQuery annotation either way.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hdfs"
+	"repro/internal/index"
+	"repro/internal/pax"
+	"repro/internal/schema"
+)
+
+// LayoutConfig is the per-dataset configuration Bob writes (§1.1): which
+// attribute each replica is clustered and indexed on. It plays the role of
+// the configuration file read by the HAIL upload pipeline.
+type LayoutConfig struct {
+	Schema *schema.Schema
+	// SortColumns has one entry per replica: the attribute to cluster and
+	// index that replica on, or -1 to store the replica as unsorted PAX
+	// (no index). len(SortColumns) is the replication factor.
+	SortColumns []int
+	// BlockSize is the target input text bytes per block; rows are never
+	// split across blocks (§3.1).
+	BlockSize int
+}
+
+// Validate checks the configuration against its schema.
+func (c *LayoutConfig) Validate() error {
+	if c.Schema == nil {
+		return fmt.Errorf("hail: config has no schema")
+	}
+	if len(c.SortColumns) == 0 {
+		return fmt.Errorf("hail: config needs at least one replica")
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("hail: block size must be positive")
+	}
+	for i, col := range c.SortColumns {
+		if col < -1 || col >= c.Schema.NumFields() {
+			return fmt.Errorf("hail: replica %d sort column %d out of range", i, col)
+		}
+	}
+	return nil
+}
+
+// Replication returns the replication factor implied by the config.
+func (c *LayoutConfig) Replication() int { return len(c.SortColumns) }
+
+// IndexedColumns returns the distinct attributes that get a clustered
+// index on some replica.
+func (c *LayoutConfig) IndexedColumns() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, col := range c.SortColumns {
+		if col >= 0 && !seen[col] {
+			seen[col] = true
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// UploadSummary reports the real measured sizes of a HAIL upload; the
+// experiment harness converts them into simulated upload time.
+type UploadSummary struct {
+	Blocks     int
+	Rows       int64
+	BadRecords int64
+	TextBytes  int64 // input text size
+	PaxBytes   int64 // client-side binary PAX size (what crosses the network)
+	// StoredBytes is the total stored across replicas (per-replica sizes
+	// differ: indexes and sort order change nothing in data size, but the
+	// index is stored with the block).
+	StoredBytes int64
+	// SortedBytes is the PAX bytes that went through sort+index, summed
+	// over replicas (k indexed replicas sort k× the block bytes).
+	SortedBytes int64
+	IndexBytes  int64 // total index bytes stored
+	BlockIDs    []hdfs.BlockID
+}
+
+// Client uploads text data to HDFS the HAIL way.
+type Client struct {
+	Cluster *hdfs.Cluster
+	Config  LayoutConfig
+	Sep     byte // field separator; 0 defaults to ','
+}
+
+// Upload parses, blocks, converts and ships the given lines (§3.1–3.2).
+// Bad records go to the block's bad-record section instead of failing the
+// upload.
+func (cl *Client) Upload(file string, lines []string) (UploadSummary, error) {
+	if err := cl.Config.Validate(); err != nil {
+		return UploadSummary{}, err
+	}
+	sep := cl.Sep
+	if sep == 0 {
+		sep = ','
+	}
+	parser := &schema.Parser{Schema: cl.Config.Schema, Sep: sep}
+
+	var sum UploadSummary
+	block := pax.NewBlock(cl.Config.Schema)
+	blockText := 0
+
+	flush := func() error {
+		if block.NumRows() == 0 && block.NumBad() == 0 {
+			return nil
+		}
+		if err := cl.uploadBlock(file, block, &sum); err != nil {
+			return err
+		}
+		block = pax.NewBlock(cl.Config.Schema)
+		blockText = 0
+		return nil
+	}
+
+	for _, line := range lines {
+		sum.TextBytes += int64(len(line) + 1)
+		row, err := parser.ParseLine(line)
+		if err != nil {
+			block.AppendBad(line)
+			sum.BadRecords++
+		} else {
+			if err := block.AppendRow(row); err != nil {
+				return sum, err
+			}
+			sum.Rows++
+		}
+		blockText += len(line) + 1
+		if blockText >= cl.Config.BlockSize {
+			if err := flush(); err != nil {
+				return sum, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}
+
+// uploadBlock serializes one PAX block and writes it through the pipeline
+// with the per-replica sort+index transform.
+func (cl *Client) uploadBlock(file string, block *pax.Block, sum *UploadSummary) error {
+	paxData, err := block.Marshal()
+	if err != nil {
+		return err
+	}
+	cfg := cl.Config
+	transform := func(pos int, node hdfs.NodeID, data []byte) ([]byte, hdfs.ReplicaInfo, error) {
+		// Each datanode reassembles the PAX block in memory (§3.2 step 6)
+		// — `data` here is exactly the reassembled packet payload — then
+		// sorts on its own attribute and builds its clustered index.
+		b, err := pax.Unmarshal(data)
+		if err != nil {
+			return nil, hdfs.ReplicaInfo{}, err
+		}
+		col := cfg.SortColumns[pos]
+		if col < 0 {
+			// Unsorted PAX replica: store as received, no index.
+			framed := FrameReplica(data, nil)
+			return framed, hdfs.ReplicaInfo{SortColumn: -1}, nil
+		}
+		if _, err := b.SortBy(col); err != nil {
+			return nil, hdfs.ReplicaInfo{}, err
+		}
+		ix, err := index.Build(b, col)
+		if err != nil {
+			return nil, hdfs.ReplicaInfo{}, err
+		}
+		sorted, err := b.Marshal()
+		if err != nil {
+			return nil, hdfs.ReplicaInfo{}, err
+		}
+		ixData, err := ix.Marshal()
+		if err != nil {
+			return nil, hdfs.ReplicaInfo{}, err
+		}
+		framed := FrameReplica(sorted, ixData)
+		return framed, hdfs.ReplicaInfo{SortColumn: col, HasIndex: true, IndexSize: len(ixData)}, nil
+	}
+
+	id, stats, err := cl.Cluster.WriteBlock(file, paxData, cfg.Replication(), transform)
+	if err != nil {
+		return err
+	}
+	sum.Blocks++
+	sum.PaxBytes += int64(len(paxData))
+	sum.BlockIDs = append(sum.BlockIDs, id)
+	for pos, sz := range stats.ReplicaSizes {
+		sum.StoredBytes += int64(sz)
+		if cfg.SortColumns[pos] >= 0 {
+			sum.SortedBytes += int64(len(paxData))
+			info, ok := cl.Cluster.NameNode().ReplicaInfo(id, stats.PipelineNodes[pos])
+			if ok {
+				sum.IndexBytes += int64(info.IndexSize)
+			}
+		}
+	}
+	return nil
+}

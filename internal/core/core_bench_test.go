@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func mustParse(ann string) (*query.Query, error) {
+	return query.ParseAnnotation(workload.UserVisitsSchema(), ann)
+}
+
+// benchFixture uploads once and is shared by the read benchmarks.
+type benchFixtureT struct {
+	cluster *hdfs.Cluster
+	sum     UploadSummary
+}
+
+var benchFix *benchFixtureT
+
+func getBenchFixture(b *testing.B) *benchFixtureT {
+	b.Helper()
+	if benchFix != nil {
+		return benchFix
+	}
+	cluster, err := hdfs.NewCluster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &Client{
+		Cluster: cluster,
+		Config: LayoutConfig{
+			Schema:      workload.UserVisitsSchema(),
+			SortColumns: []int{workload.UVVisitDate, workload.UVSourceIP, workload.UVAdRevenue},
+			BlockSize:   1 << 21,
+		},
+	}
+	lines := workload.GenerateUserVisits(100_000, 7, workload.UserVisitsOptions{})
+	sum, err := client.Upload("/uv", lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFix = &benchFixtureT{cluster: cluster, sum: sum}
+	return benchFix
+}
+
+func BenchmarkHailUpload(b *testing.B) {
+	lines := workload.GenerateUserVisits(20_000, 9, workload.UserVisitsOptions{})
+	var textBytes int64
+	for _, l := range lines {
+		textBytes += int64(len(l) + 1)
+	}
+	b.SetBytes(textBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster, err := hdfs.NewCluster(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := &Client{
+			Cluster: cluster,
+			Config: LayoutConfig{
+				Schema:      workload.UserVisitsSchema(),
+				SortColumns: []int{workload.UVVisitDate, workload.UVSourceIP, workload.UVAdRevenue},
+				BlockSize:   1 << 20,
+			},
+		}
+		if _, err := client.Upload("/uv", lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchQuery(b *testing.B, annotation string, splitting bool) {
+	f := getBenchFixture(b)
+	q, err := mustParse(annotation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &mapred.Engine{Cluster: f.cluster}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(&mapred.Job{
+			Name: "bench", File: "/uv",
+			Input: &InputFormat{Cluster: f.cluster, Query: q, Splitting: splitting},
+			Map:   func(r mapred.Record, emit mapred.Emit) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkIndexScanQuery(b *testing.B) {
+	benchQuery(b, `@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})`, false)
+}
+
+func BenchmarkIndexScanQueryWithSplitting(b *testing.B) {
+	benchQuery(b, `@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})`, true)
+}
+
+func BenchmarkFullScanQuery(b *testing.B) {
+	// Filter on duration — never indexed — forces the PAX column scan.
+	benchQuery(b, `@HailQuery(filter="@9 between(1,100)", projection={@1})`, false)
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// A HAIL block replica as stored on a datanode is the sorted PAX block
+// followed by its index, with a small frame so the record reader can find
+// both (the paper's "HAIL Block" with Block Metadata and Index Metadata,
+// Figure 1):
+//
+//	magic   "HLBK"
+//	version uint16
+//	paxLen  uint32
+//	ixLen   uint32 (0 = no index)
+//	pax bytes, index bytes
+const (
+	frameMagic   = "HLBK"
+	frameVersion = 1
+	frameHeader  = 4 + 2 + 4 + 4
+)
+
+// FrameReplica assembles the stored form of one replica. indexData may be
+// nil for unsorted replicas.
+func FrameReplica(paxData, indexData []byte) []byte {
+	out := make([]byte, 0, frameHeader+len(paxData)+len(indexData))
+	out = append(out, frameMagic...)
+	out = binary.LittleEndian.AppendUint16(out, frameVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(paxData)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(indexData)))
+	out = append(out, paxData...)
+	out = append(out, indexData...)
+	return out
+}
+
+// ParseFrame splits a stored replica back into PAX and index bytes.
+func ParseFrame(data []byte) (paxData, indexData []byte, err error) {
+	if len(data) < frameHeader {
+		return nil, nil, fmt.Errorf("hail: replica frame too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != frameMagic {
+		return nil, nil, fmt.Errorf("hail: bad replica frame magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != frameVersion {
+		return nil, nil, fmt.Errorf("hail: unsupported replica frame version %d", v)
+	}
+	paxLen := int(binary.LittleEndian.Uint32(data[6:]))
+	ixLen := int(binary.LittleEndian.Uint32(data[10:]))
+	if frameHeader+paxLen+ixLen != len(data) {
+		return nil, nil, fmt.Errorf("hail: replica frame length mismatch: header says %d+%d, have %d payload bytes",
+			paxLen, ixLen, len(data)-frameHeader)
+	}
+	paxData = data[frameHeader : frameHeader+paxLen]
+	if ixLen > 0 {
+		indexData = data[frameHeader+paxLen:]
+	}
+	return paxData, indexData, nil
+}

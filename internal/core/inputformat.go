@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/query"
+)
+
+// InputFormat is the HailInputFormat (§4.3). It consults the namenode's
+// replica directory to find, per block, a replica whose clustered index
+// matches the job's filter, and shapes splits accordingly:
+//
+//   - Splitting disabled (§6.4's configuration): one split per block, like
+//     standard Hadoop, but located at the replica with the matching index.
+//   - HailSplitting enabled (§6.5): blocks are clustered by the node
+//     holding their matching replica, and each cluster is packed into
+//     SplitsPerNode splits — turning thousands of milliseconds-long map
+//     tasks into a handful of longer ones.
+//
+// Jobs with no filter, or whose filter attribute has no index on any
+// replica, fall back to standard per-block full-scan splitting, so failover
+// behaviour for scan jobs is unchanged (§4.3).
+type InputFormat struct {
+	Cluster *hdfs.Cluster
+	Query   *query.Query
+	// Splitting enables the HailSplitting policy.
+	Splitting bool
+	// SplitsPerNode is the number of splits created per locality group
+	// when Splitting is on; the paper uses the trackers' map slot count.
+	// 0 defaults to 2.
+	SplitsPerNode int
+}
+
+// indexColumn picks the filter predicate that will drive index selection:
+// the first one for which at least one replica of the first block carries
+// a matching clustered index. Returns -1 when none does.
+func (f *InputFormat) indexColumn(blocks []hdfs.BlockID) int {
+	if f.Query == nil || len(f.Query.Filter) == 0 || len(blocks) == 0 {
+		return -1
+	}
+	for _, p := range f.Query.Filter {
+		if len(f.Cluster.NameNode().GetHostsWithIndex(blocks[0], p.Column)) > 0 {
+			return p.Column
+		}
+	}
+	return -1
+}
+
+// indexedHosts returns the block's matching-index holders with alive nodes
+// first. The real namenode drops heartbeat-lost datanodes from block
+// locations; Dir_rep entries for dead nodes remain (the node may return),
+// so liveness is applied at lookup time.
+func (f *InputFormat) indexedHosts(b hdfs.BlockID, col int) []hdfs.NodeID {
+	hosts := f.Cluster.NameNode().GetHostsWithIndex(b, col)
+	var alive, dead []hdfs.NodeID
+	for _, h := range hosts {
+		if dn, err := f.Cluster.DataNode(h); err == nil && dn.Alive() {
+			alive = append(alive, h)
+		} else {
+			dead = append(dead, h)
+		}
+	}
+	return append(alive, dead...)
+}
+
+// Splits implements the split phase (§4.3).
+func (f *InputFormat) Splits(file string) ([]mapred.Split, error) {
+	blocks, err := f.Cluster.NameNode().FileBlocks(file)
+	if err != nil {
+		return nil, err
+	}
+	col := f.indexColumn(blocks)
+	if col < 0 {
+		return f.scanSplits(blocks), nil
+	}
+	if !f.Splitting {
+		return f.perBlockIndexSplits(blocks, col), nil
+	}
+	return f.hailSplits(blocks, col)
+}
+
+// SplitPhaseStats: HAIL's split phase needs no block-header reads — all
+// index information lives in the namenode's Dir_rep (§6.4.1: HAIL "does
+// not have to read any block header to compute input splits").
+func (f *InputFormat) SplitPhaseStats() mapred.TaskStats { return mapred.TaskStats{} }
+
+// scanSplits is the standard Hadoop fallback: one split per block, located
+// at any replica.
+func (f *InputFormat) scanSplits(blocks []hdfs.BlockID) []mapred.Split {
+	splits := make([]mapred.Split, 0, len(blocks))
+	for _, b := range blocks {
+		splits = append(splits, mapred.Split{
+			Blocks:    []hdfs.BlockID{b},
+			Locations: f.Cluster.NameNode().GetHosts(b),
+		})
+	}
+	return splits
+}
+
+// perBlockIndexSplits keeps one split per block but points it at the
+// replica with the matching index.
+func (f *InputFormat) perBlockIndexSplits(blocks []hdfs.BlockID, col int) []mapred.Split {
+	splits := make([]mapred.Split, 0, len(blocks))
+	for _, b := range blocks {
+		hosts := f.indexedHosts(b, col)
+		if len(hosts) == 0 {
+			// This block has no matching replica (e.g. written under a
+			// different config): full scan for it.
+			splits = append(splits, mapred.Split{
+				Blocks:    []hdfs.BlockID{b},
+				Locations: f.Cluster.NameNode().GetHosts(b),
+			})
+			continue
+		}
+		splits = append(splits, mapred.Split{
+			Blocks:    []hdfs.BlockID{b},
+			Locations: hosts,
+			Replica:   map[hdfs.BlockID]hdfs.NodeID{b: hosts[0]},
+		})
+	}
+	return splits
+}
+
+// hailSplits implements HailSplitting (§4.3): cluster the blocks of the
+// input by locality — the node holding the replica with the matching index
+// — then create SplitsPerNode splits per cluster.
+func (f *InputFormat) hailSplits(blocks []hdfs.BlockID, col int) ([]mapred.Split, error) {
+	perNode := f.SplitsPerNode
+	if perNode <= 0 {
+		perNode = 2
+	}
+	groups := make(map[hdfs.NodeID][]hdfs.BlockID)
+	var scanBlocks []hdfs.BlockID
+	for _, b := range blocks {
+		hosts := f.indexedHosts(b, col)
+		if len(hosts) == 0 {
+			scanBlocks = append(scanBlocks, b)
+			continue
+		}
+		groups[hosts[0]] = append(groups[hosts[0]], b)
+	}
+	// Deterministic split order: by node ID.
+	nodes := make([]hdfs.NodeID, 0, len(groups))
+	for n := range groups {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	var splits []mapred.Split
+	for _, n := range nodes {
+		bs := groups[n]
+		nSplits := perNode
+		if nSplits > len(bs) {
+			nSplits = len(bs)
+		}
+		for s := 0; s < nSplits; s++ {
+			split := mapred.Split{
+				Locations: []hdfs.NodeID{n},
+				Replica:   make(map[hdfs.BlockID]hdfs.NodeID),
+			}
+			for i := s; i < len(bs); i += nSplits {
+				split.Blocks = append(split.Blocks, bs[i])
+				split.Replica[bs[i]] = n
+			}
+			splits = append(splits, split)
+		}
+	}
+	// Blocks with no usable index keep default per-block scan splits, so
+	// their failover properties are untouched.
+	for _, b := range scanBlocks {
+		splits = append(splits, mapred.Split{
+			Blocks:    []hdfs.BlockID{b},
+			Locations: f.Cluster.NameNode().GetHosts(b),
+		})
+	}
+	if len(splits) == 0 && len(blocks) > 0 {
+		return nil, fmt.Errorf("hail: splitting produced no splits for %d blocks", len(blocks))
+	}
+	return splits, nil
+}
+
+// Open creates the HailRecordReader for a split.
+func (f *InputFormat) Open(split mapred.Split, node hdfs.NodeID) (mapred.RecordReader, error) {
+	return &recordReader{
+		cluster: f.Cluster,
+		query:   f.Query,
+		split:   split,
+		node:    node,
+	}, nil
+}

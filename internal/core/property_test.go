@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// TestRandomizedPipelineEquivalence fuzzes the whole HAIL pipeline:
+// random schemas, random data (including bad records), random layouts and
+// random range/point queries, asserting that the annotated MapReduce job
+// returns exactly the rows a brute-force evaluation over the input does —
+// whatever access path (index scan or PAX scan) the record reader picked.
+func TestRandomizedPipelineEquivalence(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			sch := randomSchema(rng)
+			lines, rows := randomData(rng, sch, 1500+rng.Intn(3000))
+
+			layout := randomLayout(rng, sch)
+			// The cluster must host at least len(layout) replicas.
+			cluster, err := hdfs.NewCluster(len(layout) + rng.Intn(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			client := &Client{
+				Cluster: cluster,
+				Config: LayoutConfig{
+					Schema:      sch,
+					SortColumns: layout,
+					BlockSize:   4096 + rng.Intn(1<<15),
+				},
+			}
+			if _, err := client.Upload("/fuzz", lines); err != nil {
+				t.Fatalf("upload (schema %s, layout %v): %v", sch, layout, err)
+			}
+
+			for qi := 0; qi < 4; qi++ {
+				q := randomQuery(rng, sch, rows)
+				splitting := rng.Intn(2) == 0
+				e := &mapred.Engine{Cluster: cluster}
+				res, err := e.Run(&mapred.Job{
+					Name: "fuzz", File: "/fuzz",
+					Input: &InputFormat{Cluster: cluster, Query: q, Splitting: splitting},
+					Map: func(r mapred.Record, emit mapred.Emit) {
+						if r.Bad {
+							return
+						}
+						emit(r.Row.Line(','), "")
+					},
+				})
+				if err != nil {
+					t.Fatalf("query %s: %v", q, err)
+				}
+				want := bruteForce(rows, q)
+				got := map[string]int{}
+				for _, kv := range res.Output {
+					got[kv.Key]++
+				}
+				if len(got) != len(want) {
+					t.Fatalf("schema %s layout %v query %s splitting=%v: %d distinct rows, want %d",
+						sch, layout, q, splitting, len(got), len(want))
+				}
+				for k, v := range want {
+					if got[k] != v {
+						t.Fatalf("query %s: row %q ×%d, want ×%d", q, k, got[k], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomSchema builds a 2–6 attribute schema over all types.
+func randomSchema(rng *rand.Rand) *schema.Schema {
+	types := []schema.Type{schema.Int32, schema.Int64, schema.Float64, schema.Date, schema.String}
+	n := 2 + rng.Intn(5)
+	fields := make([]schema.Field, n)
+	for i := range fields {
+		fields[i] = schema.Field{
+			Name: "f" + strconv.Itoa(i),
+			Type: types[rng.Intn(len(types))],
+		}
+	}
+	return schema.MustNew(fields...)
+}
+
+// randomLayout assigns each of 2–4 replicas a random sort column or -1.
+func randomLayout(rng *rand.Rand, s *schema.Schema) []int {
+	r := 2 + rng.Intn(3)
+	out := make([]int, r)
+	for i := range out {
+		out[i] = rng.Intn(s.NumFields()+1) - 1 // -1 .. n-1
+	}
+	// Ensure at least one indexed replica so both access paths occur
+	// across trials.
+	if out[0] < 0 {
+		out[0] = rng.Intn(s.NumFields())
+	}
+	return out
+}
+
+// randomData generates parseable lines plus occasional bad records,
+// returning the typed rows of the good ones.
+func randomData(rng *rand.Rand, s *schema.Schema, n int) ([]string, []schema.Row) {
+	words := []string{"aa", "bb", "cc", "dd", "ee", "ff", "gg"}
+	var lines []string
+	var rows []schema.Row
+	for i := 0; i < n; i++ {
+		if rng.Intn(97) == 0 {
+			lines = append(lines, "### bad record ###")
+			continue
+		}
+		row := make(schema.Row, s.NumFields())
+		for c := 0; c < s.NumFields(); c++ {
+			switch s.Field(c).Type {
+			case schema.Int32:
+				row[c] = schema.IntVal(rng.Int31n(1000))
+			case schema.Int64:
+				row[c] = schema.LongVal(rng.Int63n(100000))
+			case schema.Float64:
+				row[c] = schema.FloatVal(float64(rng.Intn(4000)) / 4)
+			case schema.Date:
+				row[c] = schema.DateVal(10000 + rng.Int31n(2000))
+			case schema.String:
+				row[c] = schema.StringVal(words[rng.Intn(len(words))])
+			}
+		}
+		rows = append(rows, row)
+		lines = append(lines, row.Line(','))
+	}
+	return lines, rows
+}
+
+// randomQuery builds a 1–2 predicate conjunction with a random projection,
+// anchored on values that actually occur so results are non-trivial.
+func randomQuery(rng *rand.Rand, s *schema.Schema, rows []schema.Row) *query.Query {
+	q := &query.Query{}
+	nPreds := 1 + rng.Intn(2)
+	for p := 0; p < nPreds; p++ {
+		col := rng.Intn(s.NumFields())
+		anchor := rows[rng.Intn(len(rows))][col]
+		switch rng.Intn(3) {
+		case 0:
+			q.Filter = append(q.Filter, query.Eq(col, anchor))
+		case 1:
+			q.Filter = append(q.Filter, query.AtLeast(col, anchor))
+		default:
+			hi := rows[rng.Intn(len(rows))][col]
+			if anchor.Compare(hi) > 0 {
+				anchor, hi = hi, anchor
+			}
+			q.Filter = append(q.Filter, query.Between(col, anchor, hi))
+		}
+	}
+	// Random projection (possibly empty = all attributes).
+	if rng.Intn(3) > 0 {
+		nProj := 1 + rng.Intn(s.NumFields())
+		perm := rng.Perm(s.NumFields())
+		q.Projection = perm[:nProj]
+	}
+	return q
+}
+
+// bruteForce evaluates the query over the typed rows directly.
+func bruteForce(rows []schema.Row, q *query.Query) map[string]int {
+	out := make(map[string]int)
+	for _, row := range rows {
+		if !q.MatchesRow(row) {
+			continue
+		}
+		proj := q.Projection
+		if len(proj) == 0 {
+			var sb strings.Builder
+			for i, v := range row {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(v.String())
+			}
+			out[sb.String()]++
+			continue
+		}
+		vals := make(schema.Row, len(proj))
+		for j, c := range proj {
+			vals[j] = row[c]
+		}
+		out[vals.Line(',')]++
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hdfs"
+	"repro/internal/index"
+	"repro/internal/mapred"
+	"repro/internal/pax"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// recordReader is the HailRecordReader (§4.3): per block it performs an
+// index scan when the block's replica carries a clustered index matching a
+// filter predicate, and a PAX column scan otherwise. Either way it applies
+// the full conjunction, reconstructs the projected attributes of
+// qualifying tuples from PAX to row layout, and passes bad records through
+// flagged.
+type recordReader struct {
+	cluster *hdfs.Cluster
+	query   *query.Query
+	split   mapred.Split
+	node    hdfs.NodeID
+}
+
+func (r *recordReader) Read(fn func(mapred.Record)) (mapred.TaskStats, error) {
+	var stats mapred.TaskStats
+	for _, b := range r.split.Blocks {
+		if err := r.readBlock(b, fn, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// openReplica fetches the preferred replica's bytes: the one with the
+// matching index if the split recorded one (via getHostsWithIndex),
+// otherwise the closest available replica.
+func (r *recordReader) openReplica(b hdfs.BlockID) ([]byte, hdfs.NodeID, error) {
+	if preferred, ok := r.split.Replica[b]; ok {
+		data, err := r.cluster.ReadBlockFrom(preferred, b)
+		if err == nil {
+			return data, preferred, nil
+		}
+		// Preferred replica unreachable (e.g. node died): fall back to
+		// any replica; the access path degrades to a scan if that
+		// replica's index does not match (§6.4.3, HAIL vs HAIL-1Idx).
+	}
+	data, servedBy, err := r.cluster.ReadBlockAny(b, r.node)
+	return data, servedBy, err
+}
+
+func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *mapred.TaskStats) error {
+	data, servedBy, err := r.openReplica(b)
+	if err != nil {
+		return err
+	}
+	if servedBy != r.node {
+		stats.RemoteReads++
+	}
+	stats.Blocks++
+
+	paxData, ixData, err := ParseFrame(data)
+	if err != nil {
+		return err
+	}
+	reader, err := pax.NewReader(paxData)
+	if err != nil {
+		return err
+	}
+	sch := reader.Schema()
+	q := r.query
+	if q == nil {
+		q = &query.Query{}
+	}
+	proj := q.ProjectionOrAll(sch)
+
+	// Choose the access path: an index scan needs a predicate on the
+	// replica's clustering attribute and the index bytes beside the block.
+	fromRow, toRow := 0, reader.NumRows()
+	indexed := false
+	if ixData != nil {
+		for _, p := range q.Filter {
+			if p.Column != reader.SortColumn() {
+				continue
+			}
+			ix, err := index.Unmarshal(ixData)
+			if err != nil {
+				return fmt.Errorf("hail: block %d index: %v", b, err)
+			}
+			// Reading the index costs its bytes plus one seek (§4.3:
+			// "we read the index entirely into main memory").
+			stats.IndexBytesRead += int64(len(ixData))
+			stats.Seeks++
+			f, t, ok := ix.PartitionRange(p.Lo, p.Hi)
+			indexed = true
+			if !ok {
+				fromRow, toRow = 0, 0
+			} else {
+				fromRow, toRow = f, t
+			}
+			break
+		}
+	}
+	if indexed {
+		stats.IndexScans++
+	} else {
+		stats.FullScans++
+	}
+
+	if toRow > fromRow {
+		stats.PartitionsScanned += int64((toRow - fromRow + pax.PartitionSize - 1) / pax.PartitionSize)
+		if err := r.emitRange(reader, q, proj, fromRow, toRow, fn, stats); err != nil {
+			return err
+		}
+	}
+
+	// Bad records are handed to the map function flagged, whatever the
+	// access path (§4.3).
+	if reader.NumBad() > 0 {
+		bad, err := reader.ReadAllBad()
+		if err != nil {
+			return err
+		}
+		for _, line := range bad {
+			stats.RecordsDelivered++
+			fn(mapred.Record{Raw: line, Bad: true})
+		}
+	}
+	stats.AddIO(reader.Stats())
+	return nil
+}
+
+// emitRange reads the filter and projection columns over the candidate row
+// range, post-filters, and emits projected rows. Only the needed columns
+// are touched — the PAX advantage — and each is read as one contiguous
+// range.
+func (r *recordReader) emitRange(reader *pax.Reader, q *query.Query, proj []int,
+	fromRow, toRow int, fn func(mapred.Record), stats *mapred.TaskStats) error {
+
+	// Collect the distinct columns we must materialize.
+	needed := make(map[int][]schema.Value)
+	for _, p := range q.Filter {
+		needed[p.Column] = nil
+	}
+	for _, c := range proj {
+		needed[c] = nil
+	}
+	for col := range needed {
+		vals, err := reader.ReadColumnRange(col, fromRow, toRow)
+		if err != nil {
+			return err
+		}
+		needed[col] = vals
+	}
+
+	n := toRow - fromRow
+	stats.RecordsScanned += int64(n)
+rows:
+	for i := 0; i < n; i++ {
+		for _, p := range q.Filter {
+			if !p.Matches(needed[p.Column][i]) {
+				continue rows
+			}
+		}
+		row := make(schema.Row, len(proj))
+		for j, c := range proj {
+			row[j] = needed[c][i]
+		}
+		stats.RecordsDelivered++
+		stats.AttrsDelivered += int64(len(proj))
+		fn(mapred.Record{Row: row})
+	}
+	return nil
+}

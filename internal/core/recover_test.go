@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/pax"
+	"repro/internal/workload"
+)
+
+func TestRecoverFileRestoresIndexes(t *testing.T) {
+	cluster, client, sum, _ := uvFixture(t, 4000, workload.UserVisitsOptions{})
+	cfg := client.Config
+	bq := workload.BobQueries()[0] // filter on visitDate
+
+	// Baseline: all blocks index-scan.
+	before := runHailQuery(t, cluster, "/uv", bq.Query, false)
+	wantResults := outputMultiset(before)
+	if st := before.TotalStats(); st.FullScans != 0 {
+		t.Fatalf("baseline has %d full scans", st.FullScans)
+	}
+
+	// Kill a node holding visitDate-indexed replicas: some blocks lose
+	// their matching index.
+	victim := cluster.NameNode().GetHostsWithIndex(sum.BlockIDs[0], workload.UVVisitDate)[0]
+	if err := cluster.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	degraded := runHailQuery(t, cluster, "/uv", bq.Query, false)
+	if st := degraded.TotalStats(); st.FullScans == 0 {
+		t.Fatal("kill did not degrade any block to a full scan; test premise broken")
+	}
+
+	// Recover: lost replicas are rebuilt with their sort order and index.
+	rep, err := RecoverFile(cluster, "/uv", cfg)
+	if err != nil {
+		t.Fatalf("RecoverFile: %v", err)
+	}
+	if rep.ReplicasRecovered == 0 || rep.IndexesRebuilt == 0 {
+		t.Fatalf("nothing recovered: %+v", rep)
+	}
+	if rep.BlocksScanned != sum.Blocks {
+		t.Errorf("scanned %d blocks, want %d", rep.BlocksScanned, sum.Blocks)
+	}
+
+	// All blocks index-scan again, and results are unchanged.
+	after := runHailQuery(t, cluster, "/uv", bq.Query, false)
+	if st := after.TotalStats(); st.FullScans != 0 {
+		t.Errorf("still %d full scans after recovery", st.FullScans)
+	}
+	got := outputMultiset(after)
+	if len(got) != len(wantResults) {
+		t.Fatalf("results changed after recovery: %d vs %d distinct", len(got), len(wantResults))
+	}
+	for k, v := range wantResults {
+		if got[k] != v {
+			t.Fatalf("result %q changed after recovery", k)
+		}
+	}
+
+	// The recovered replicas really are clustered and indexed correctly.
+	for _, b := range sum.BlockIDs {
+		for _, col := range cfg.SortColumns {
+			hosts := cluster.NameNode().GetHostsWithIndex(b, col)
+			aliveWithIndex := 0
+			for _, h := range hosts {
+				dn, err := cluster.DataNode(h)
+				if err != nil || !dn.Alive() {
+					continue
+				}
+				aliveWithIndex++
+				data, err := cluster.ReadBlockFrom(h, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				paxData, ixData, err := ParseFrame(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := pax.NewReader(paxData)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.SortColumn() != col || ixData == nil {
+					t.Fatalf("block %d on node %d: sortCol=%d ix=%v, want col %d with index",
+						b, h, r.SortColumn(), ixData != nil, col)
+				}
+			}
+			if aliveWithIndex == 0 {
+				t.Errorf("block %d: no alive replica indexed on %d after recovery", b, col)
+			}
+		}
+	}
+}
+
+func TestRecoverFileNoopWhenHealthy(t *testing.T) {
+	cluster, client, sum, _ := uvFixture(t, 1500, workload.UserVisitsOptions{})
+	rep, err := RecoverFile(cluster, "/uv", client.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReplicasRecovered != 0 || rep.IndexesRebuilt != 0 {
+		t.Errorf("healthy file triggered recovery: %+v", rep)
+	}
+	if rep.BlocksScanned != sum.Blocks {
+		t.Errorf("scanned %d, want %d", rep.BlocksScanned, sum.Blocks)
+	}
+}
+
+func TestRecoverFileAllReplicasLost(t *testing.T) {
+	// 3 of 3 nodes dead for some block's replicas: recovery must fail
+	// loudly rather than silently dropping data.
+	cluster, err := hdfs.NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &Client{
+		Cluster: cluster,
+		Config: LayoutConfig{
+			Schema:      workload.UserVisitsSchema(),
+			SortColumns: []int{workload.UVVisitDate, workload.UVSourceIP, workload.UVAdRevenue},
+			BlockSize:   32 << 10,
+		},
+	}
+	if _, err := client.Upload("/uv", workload.GenerateUserVisits(500, 3, workload.UserVisitsOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		cluster.KillNode(hdfs.NodeID(n))
+	}
+	if _, err := RecoverFile(cluster, "/uv", client.Config); err == nil {
+		t.Error("recovery with zero alive replicas succeeded")
+	}
+}
+
+func TestRecoverFileValidatesConfig(t *testing.T) {
+	cluster, _ := hdfs.NewCluster(3)
+	if _, err := RecoverFile(cluster, "/x", LayoutConfig{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStoreRecoveredReplicaRejectsDuplicates(t *testing.T) {
+	cluster, _, sum, _ := uvFixture(t, 500, workload.UserVisitsOptions{})
+	b := sum.BlockIDs[0]
+	holder := cluster.NameNode().GetHosts(b)[0]
+	data, err := cluster.ReadBlockFrom(holder, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.StoreRecoveredReplica(b, holder, data, hdfs.ReplicaInfo{}); err == nil {
+		t.Error("duplicate replica accepted on the same node")
+	}
+}

@@ -1,0 +1,262 @@
+package hdfs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ReplicaTransform customizes what each datanode in an upload pipeline
+// stores for a block. HAIL injects per-replica sorting and indexing through
+// this hook (§3.2 step 7): position is the node's place in the pipeline
+// (0 = DN1), and the returned bytes replace the received block on that
+// node only. The returned ReplicaInfo is registered with the namenode's
+// Dir_rep. A nil transform gives classic HDFS byte-identical replicas.
+type ReplicaTransform func(position int, node NodeID, block []byte) ([]byte, ReplicaInfo, error)
+
+// UploadStats describes one block upload for tests and the cost model.
+type UploadStats struct {
+	Packets       int   // packets framed for the block
+	LinkBytes     int64 // bytes crossing pipeline links (incl. checksums)
+	Links         int   // pipeline links the packets traversed
+	TailVerified  int   // packets checksum-verified by the tail datanode
+	AcksInOrder   bool  // client saw every ACK in sequence order
+	ReplicaSizes  []int // stored size per pipeline position
+	PipelineNodes []NodeID
+}
+
+// Cluster wires a namenode and a set of datanodes together and implements
+// the upload pipeline over them.
+type Cluster struct {
+	mu        sync.Mutex
+	nn        *NameNode
+	dns       []*DataNode
+	nextBlock BlockID
+	cursor    int // round-robin placement cursor
+}
+
+// NewCluster creates a cluster with n datanodes (IDs 0..n-1).
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hdfs: cluster needs at least one datanode")
+	}
+	c := &Cluster{nn: NewNameNode()}
+	for i := 0; i < n; i++ {
+		c.dns = append(c.dns, NewDataNode(NodeID(i)))
+	}
+	return c, nil
+}
+
+// NameNode returns the cluster's namenode.
+func (c *Cluster) NameNode() *NameNode { return c.nn }
+
+// DataNode returns the datanode with the given ID.
+func (c *Cluster) DataNode(id NodeID) (*DataNode, error) {
+	if int(id) < 0 || int(id) >= len(c.dns) {
+		return nil, fmt.Errorf("hdfs: no datanode %d", id)
+	}
+	return c.dns[id], nil
+}
+
+// NumNodes returns the cluster size (dead or alive).
+func (c *Cluster) NumNodes() int { return len(c.dns) }
+
+// AliveNodes lists the IDs of nodes that are up.
+func (c *Cluster) AliveNodes() []NodeID {
+	var out []NodeID
+	for _, dn := range c.dns {
+		if dn.Alive() {
+			out = append(out, dn.ID())
+		}
+	}
+	return out
+}
+
+// KillNode takes a datanode down (fault-tolerance experiments, §6.4.3).
+func (c *Cluster) KillNode(id NodeID) error {
+	dn, err := c.DataNode(id)
+	if err != nil {
+		return err
+	}
+	dn.Kill()
+	return nil
+}
+
+// pickPipeline selects `replication` distinct alive datanodes, walking a
+// round-robin cursor so block placement spreads evenly — the property the
+// scale-out experiments rely on.
+func (c *Cluster) pickPipeline(replication int) ([]*DataNode, error) {
+	alive := c.AliveNodes()
+	if len(alive) < replication {
+		return nil, fmt.Errorf("hdfs: need %d alive datanodes, have %d", replication, len(alive))
+	}
+	start := c.cursor % len(alive)
+	c.cursor++
+	nodes := make([]*DataNode, 0, replication)
+	for i := 0; i < replication; i++ {
+		nodes = append(nodes, c.dns[alive[(start+i)%len(alive)]])
+	}
+	return nodes, nil
+}
+
+// WriteBlock uploads one block with the given replication factor, running
+// the full packet pipeline: framing into checksummed packets, forwarding
+// along the chain, tail-only verification, the backwards ACK chain, and
+// per-node flush. With a transform (HAIL mode) every datanode reassembles
+// the block in memory, transforms it, recomputes its own checksums and
+// flushes; without one (HDFS mode) nodes store the packets' bytes and the
+// checksums they carried.
+func (c *Cluster) WriteBlock(file string, data []byte, replication int, transform ReplicaTransform) (BlockID, UploadStats, error) {
+	c.mu.Lock()
+	pipeline, err := c.pickPipeline(replication)
+	if err != nil {
+		c.mu.Unlock()
+		return 0, UploadStats{}, err
+	}
+	id := c.nextBlock
+	c.nextBlock++
+	c.mu.Unlock()
+
+	stats := UploadStats{AcksInOrder: true}
+	for _, dn := range pipeline {
+		stats.PipelineNodes = append(stats.PipelineNodes, dn.ID())
+	}
+
+	// Client side: frame the block (§3.2 step 4). In HAIL mode `data` is
+	// already a PAX block built by the HAIL client.
+	pkts := BuildPackets(data)
+	stats.Packets = len(pkts)
+	stats.Links = len(pipeline) // client→DN1 plus the inter-DN hops
+
+	// Forward every packet down the chain. Each node receives every
+	// packet; only the tail verifies (§3.2: "DN2 believes DN3, DN1
+	// believes DN2, and CL believes DN1").
+	perPacketBytes := func(p *Packet) int64 { return int64(len(p.Data)) + int64(4*len(p.Sums)) }
+	nextAck := 0
+	for i := range pkts {
+		p := &pkts[i]
+		for pos, dn := range pipeline {
+			if !dn.Alive() {
+				return 0, stats, fmt.Errorf("hdfs: datanode %d died during upload of block %d", dn.ID(), id)
+			}
+			dn.mu.Lock()
+			dn.packetsRecv++
+			dn.mu.Unlock()
+			stats.LinkBytes += perPacketBytes(p)
+			_ = pos
+		}
+		tail := pipeline[len(pipeline)-1]
+		if err := p.Verify(); err != nil {
+			return 0, stats, fmt.Errorf("hdfs: tail datanode %d: %v", tail.ID(), err)
+		}
+		tail.mu.Lock()
+		tail.verifyCount++
+		tail.mu.Unlock()
+
+		// ACK chain: the ack for packet p travels tail→…→DN1→client with
+		// node IDs appended; the client checks sequence order (§3.2 step 15).
+		ackIDs := make([]NodeID, 0, len(pipeline))
+		for pos := len(pipeline) - 1; pos >= 0; pos-- {
+			ackIDs = append(ackIDs, pipeline[pos].ID())
+		}
+		if len(ackIDs) != len(pipeline) || p.Seq != nextAck {
+			stats.AcksInOrder = false
+			return 0, stats, fmt.Errorf("hdfs: ACK for packet %d out of order (want %d)", p.Seq, nextAck)
+		}
+		nextAck++
+	}
+
+	// Flush phase. In HDFS mode data was logically streamed to disk as
+	// packets arrived; in HAIL mode each node reassembles, transforms,
+	// recomputes checksums for its own bytes and only then flushes.
+	flushed := make([]NodeID, 0, len(pipeline))
+	for pos, dn := range pipeline {
+		stored := data
+		info := ReplicaInfo{Size: len(data), SortColumn: -1}
+		if transform != nil {
+			block, err := Reassemble(pkts)
+			if err != nil {
+				return 0, stats, err
+			}
+			stored, info, err = transform(pos, dn.ID(), block)
+			if err != nil {
+				return 0, stats, fmt.Errorf("hdfs: transform on datanode %d: %v", dn.ID(), err)
+			}
+			info.Size = len(stored)
+		}
+		// Each replica gets its own checksum file: in HAIL mode sort
+		// orders differ per replica, so checksums must be recomputed per
+		// node (§3.2 step 7); in HDFS mode this equals the carried sums.
+		sums := checksumChunks(stored)
+		if err := dn.flush(id, stored, sums); err != nil {
+			return 0, stats, err
+		}
+		stats.ReplicaSizes = append(stats.ReplicaSizes, len(stored))
+		// The datanode informs the namenode about its new replica,
+		// including size, index and sort order (§3.2 steps 11 and 14).
+		c.nn.RegisterReplica(id, dn.ID(), info)
+		flushed = append(flushed, dn.ID())
+	}
+	if len(flushed) != replication {
+		return 0, stats, fmt.Errorf("hdfs: flushed %d replicas, want %d", len(flushed), replication)
+	}
+
+	c.nn.AddBlock(file, id)
+	stats.TailVerified = len(pkts)
+	return id, stats, nil
+}
+
+// StoreRecoveredReplica places a block replica on a node outside the
+// normal upload pipeline — the re-replication path HDFS uses to restore
+// the replication factor after a datanode loss. The replica's checksum
+// file is computed here, and the namenode learns about the new replica
+// and its metadata.
+func (c *Cluster) StoreRecoveredReplica(b BlockID, node NodeID, data []byte, info ReplicaInfo) error {
+	dn, err := c.DataNode(node)
+	if err != nil {
+		return err
+	}
+	if dn.HasReplica(b) {
+		return fmt.Errorf("hdfs: node %d already stores block %d", node, b)
+	}
+	if err := dn.flush(b, data, checksumChunks(data)); err != nil {
+		return err
+	}
+	info.Size = len(data)
+	c.nn.RegisterReplica(b, node, info)
+	return nil
+}
+
+// ReadBlockFrom reads and verifies a replica from a specific datanode.
+func (c *Cluster) ReadBlockFrom(node NodeID, b BlockID) ([]byte, error) {
+	dn, err := c.DataNode(node)
+	if err != nil {
+		return nil, err
+	}
+	return dn.Read(b)
+}
+
+// ReadBlockAny reads the block from the first alive replica holder,
+// preferring the given node (the HDFS client's locality preference).
+func (c *Cluster) ReadBlockAny(b BlockID, preferred NodeID) ([]byte, NodeID, error) {
+	hosts := c.nn.GetHosts(b)
+	if len(hosts) == 0 {
+		return nil, 0, fmt.Errorf("hdfs: block %d has no replicas", b)
+	}
+	ordered := make([]NodeID, 0, len(hosts))
+	for _, h := range hosts {
+		if h == preferred {
+			ordered = append([]NodeID{h}, ordered...)
+		} else {
+			ordered = append(ordered, h)
+		}
+	}
+	var lastErr error
+	for _, h := range ordered {
+		data, err := c.ReadBlockFrom(h, b)
+		if err == nil {
+			return data, h, nil
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("hdfs: all replicas of block %d unreadable: %v", b, lastErr)
+}

@@ -1,0 +1,138 @@
+package hdfs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// storedReplica is one replica on a datanode's local disk: the data file
+// and its separate checksum file (§3.2: "for each replica two files are
+// created on local disk").
+type storedReplica struct {
+	data []byte
+	sums []uint32
+}
+
+// DataNode stores block replicas and participates in upload pipelines.
+type DataNode struct {
+	id NodeID
+
+	mu       sync.RWMutex
+	alive    bool
+	replicas map[BlockID]storedReplica
+
+	// Cumulative counters for tests and the cost model.
+	bytesFlushed int64
+	packetsRecv  int64
+	verifyCount  int64
+}
+
+// NewDataNode returns an empty, alive datanode.
+func NewDataNode(id NodeID) *DataNode {
+	return &DataNode{id: id, alive: true, replicas: make(map[BlockID]storedReplica)}
+}
+
+// ID returns the node's identifier.
+func (dn *DataNode) ID() NodeID { return dn.id }
+
+// Alive reports whether the node is up.
+func (dn *DataNode) Alive() bool {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	return dn.alive
+}
+
+// Kill marks the node dead: it stops serving reads and cannot join upload
+// pipelines. Stored bytes remain (a real machine's disk does not vanish),
+// but are unreachable while dead.
+func (dn *DataNode) Kill() {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	dn.alive = false
+}
+
+// Revive brings a killed node back.
+func (dn *DataNode) Revive() {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	dn.alive = true
+}
+
+// flush writes a replica's data and checksum files to the local store.
+func (dn *DataNode) flush(b BlockID, data []byte, sums []uint32) error {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if !dn.alive {
+		return fmt.Errorf("hdfs: datanode %d is dead", dn.id)
+	}
+	if _, dup := dn.replicas[b]; dup {
+		return fmt.Errorf("hdfs: datanode %d already stores block %d", dn.id, b)
+	}
+	// Copy: a disk write materializes its own bytes. Replicas sharing a
+	// slice would let corruption on one node leak to its siblings.
+	dn.replicas[b] = storedReplica{data: append([]byte(nil), data...), sums: append([]uint32(nil), sums...)}
+	dn.bytesFlushed += int64(len(data)) + int64(4*len(sums))
+	return nil
+}
+
+// Read returns a verified copy of the replica's bytes. Reads check the
+// stored checksum file, mirroring HDFS's read-path verification.
+func (dn *DataNode) Read(b BlockID) ([]byte, error) {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	if !dn.alive {
+		return nil, fmt.Errorf("hdfs: datanode %d is dead", dn.id)
+	}
+	rep, ok := dn.replicas[b]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: datanode %d has no replica of block %d", dn.id, b)
+	}
+	if err := VerifyStored(rep.data, rep.sums); err != nil {
+		return nil, fmt.Errorf("hdfs: datanode %d block %d: %v", dn.id, b, err)
+	}
+	return append([]byte(nil), rep.data...), nil
+}
+
+// HasReplica reports whether the node stores the block.
+func (dn *DataNode) HasReplica(b BlockID) bool {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	_, ok := dn.replicas[b]
+	return ok
+}
+
+// ReplicaSize returns the stored size of the replica's data file, or -1.
+func (dn *DataNode) ReplicaSize(b BlockID) int {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	rep, ok := dn.replicas[b]
+	if !ok {
+		return -1
+	}
+	return len(rep.data)
+}
+
+// CorruptByte flips one bit of a stored replica, for failure-injection
+// tests of the checksum machinery.
+func (dn *DataNode) CorruptByte(b BlockID, offset int) error {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	rep, ok := dn.replicas[b]
+	if !ok {
+		return fmt.Errorf("hdfs: datanode %d has no replica of block %d", dn.id, b)
+	}
+	if offset < 0 || offset >= len(rep.data) {
+		return fmt.Errorf("hdfs: corrupt offset %d out of range", offset)
+	}
+	rep.data[offset] ^= 0x01
+	dn.replicas[b] = rep
+	return nil
+}
+
+// BytesFlushed returns the cumulative bytes written to this node's store
+// (data + checksum files).
+func (dn *DataNode) BytesFlushed() int64 {
+	dn.mu.RLock()
+	defer dn.mu.RUnlock()
+	return dn.bytesFlushed
+}

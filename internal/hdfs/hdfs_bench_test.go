@@ -1,0 +1,79 @@
+package hdfs
+
+import "testing"
+
+func BenchmarkBuildPackets(b *testing.B) {
+	data := randBlock(4<<20, 1)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildPackets(data)
+	}
+}
+
+func BenchmarkPacketVerify(b *testing.B) {
+	pkts := BuildPackets(randBlock(4<<20, 2))
+	var bytes int64
+	for i := range pkts {
+		bytes += int64(len(pkts[i].Data))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pkts {
+			if err := pkts[j].Verify(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkWriteBlockHDFSMode(b *testing.B) {
+	data := randBlock(1<<20, 3)
+	b.SetBytes(int64(len(data)) * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.WriteBlock("/f", data, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBlockWithTransform(b *testing.B) {
+	data := randBlock(1<<20, 4)
+	transform := func(pos int, node NodeID, block []byte) ([]byte, ReplicaInfo, error) {
+		out := append([]byte(nil), block...)
+		return out, ReplicaInfo{SortColumn: pos, HasIndex: true}, nil
+	}
+	b.SetBytes(int64(len(data)) * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.WriteBlock("/f", data, 3, transform); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBlock(b *testing.B) {
+	c, _ := NewCluster(3)
+	data := randBlock(1<<20, 5)
+	id, _, err := c.WriteBlock("/f", data, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.ReadBlockAny(id, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

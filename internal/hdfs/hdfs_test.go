@@ -1,0 +1,381 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestBuildPacketsFraming(t *testing.T) {
+	payload := ChunksPerPacket * ChunkSize
+	cases := []struct {
+		size    int
+		packets int
+	}{
+		{0, 1},
+		{1, 1},
+		{ChunkSize, 1},
+		{payload, 1},
+		{payload + 1, 2},
+		{3*payload + 17, 4},
+	}
+	for _, c := range cases {
+		pkts := BuildPackets(randBlock(c.size, int64(c.size)))
+		if len(pkts) != c.packets {
+			t.Errorf("size %d: %d packets, want %d", c.size, len(pkts), c.packets)
+		}
+		if !pkts[len(pkts)-1].Last {
+			t.Errorf("size %d: last packet not marked", c.size)
+		}
+		for i, p := range pkts {
+			if p.Seq != i {
+				t.Errorf("size %d: packet %d has seq %d", c.size, i, p.Seq)
+			}
+			wantChunks := (len(p.Data) + ChunkSize - 1) / ChunkSize
+			if p.NumChunks() != wantChunks {
+				t.Errorf("size %d packet %d: %d sums for %d chunks", c.size, i, p.NumChunks(), wantChunks)
+			}
+		}
+	}
+}
+
+func TestPacketVerifyDetectsCorruption(t *testing.T) {
+	pkts := BuildPackets(randBlock(5000, 1))
+	if err := pkts[0].Verify(); err != nil {
+		t.Fatalf("clean packet failed verify: %v", err)
+	}
+	pkts[0].Data[100] ^= 0x40
+	if err := pkts[0].Verify(); err == nil {
+		t.Error("corrupted packet passed verify")
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	f := func(seed int64, kb uint8) bool {
+		data := randBlock(int(kb)*1024+int(seed%512+512)%512, seed)
+		got, err := Reassemble(BuildPackets(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReassembleRejectsDisorder(t *testing.T) {
+	pkts := BuildPackets(randBlock(3*ChunksPerPacket*ChunkSize, 2))
+	swapped := []Packet{pkts[1], pkts[0], pkts[2]}
+	if _, err := Reassemble(swapped); err == nil {
+		t.Error("out-of-order packets reassembled")
+	}
+	if _, err := Reassemble(nil); err == nil {
+		t.Error("empty packet list reassembled")
+	}
+}
+
+func TestVerifyStoredSingleBitCorruption(t *testing.T) {
+	// Property: any single-bit flip anywhere in the block is caught.
+	data := randBlock(4*ChunkSize+123, 3)
+	sums := checksumChunks(data)
+	if err := VerifyStored(data, sums); err != nil {
+		t.Fatalf("clean block failed: %v", err)
+	}
+	f := func(pos uint16, bit uint8) bool {
+		p := int(pos) % len(data)
+		corrupt := append([]byte(nil), data...)
+		corrupt[p] ^= 1 << (bit % 8)
+		return VerifyStored(corrupt, sums) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterWriteReadHDFSMode(t *testing.T) {
+	c, err := NewCluster(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlock(200_000, 4)
+	id, stats, err := c.WriteBlock("/logs/uv", data, 3, nil)
+	if err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	if !stats.AcksInOrder {
+		t.Error("ACKs out of order")
+	}
+	if stats.TailVerified != stats.Packets {
+		t.Errorf("tail verified %d of %d packets", stats.TailVerified, stats.Packets)
+	}
+	if len(stats.PipelineNodes) != 3 {
+		t.Fatalf("pipeline has %d nodes", len(stats.PipelineNodes))
+	}
+	// All replicas byte-identical in HDFS mode.
+	for _, node := range stats.PipelineNodes {
+		got, err := c.ReadBlockFrom(node, id)
+		if err != nil {
+			t.Fatalf("read from %d: %v", node, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("replica on node %d differs from original", node)
+		}
+	}
+	if n := c.NameNode().ReplicaCount(id); n != 3 {
+		t.Errorf("namenode has %d replicas, want 3", n)
+	}
+	blocks, err := c.NameNode().FileBlocks("/logs/uv")
+	if err != nil || len(blocks) != 1 || blocks[0] != id {
+		t.Errorf("FileBlocks = %v, %v", blocks, err)
+	}
+}
+
+func TestClusterHAILModeTransformPerReplica(t *testing.T) {
+	c, _ := NewCluster(4)
+	data := randBlock(50_000, 5)
+	// Transform stamps each replica with its pipeline position, modelling
+	// per-replica sort orders: replicas differ, sizes differ.
+	transform := func(pos int, node NodeID, block []byte) ([]byte, ReplicaInfo, error) {
+		out := append([]byte{byte(pos)}, block...)
+		out = append(out, make([]byte, pos*100)...)
+		return out, ReplicaInfo{SortColumn: pos, HasIndex: true, IndexSize: 64}, nil
+	}
+	id, stats, err := c.WriteBlock("/f", data, 3, transform)
+	if err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	sizes := map[int]bool{}
+	for pos, node := range stats.PipelineNodes {
+		got, err := c.ReadBlockFrom(node, id)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got[0] != byte(pos) {
+			t.Errorf("replica at position %d stamped %d", pos, got[0])
+		}
+		sizes[len(got)] = true
+		info, ok := c.NameNode().ReplicaInfo(id, node)
+		if !ok {
+			t.Fatalf("no Dir_rep entry for node %d", node)
+		}
+		if info.SortColumn != pos || !info.HasIndex || info.Size != len(got) {
+			t.Errorf("Dir_rep entry wrong: %+v", info)
+		}
+	}
+	if len(sizes) != 3 {
+		t.Errorf("expected 3 distinct replica sizes, got %d", len(sizes))
+	}
+}
+
+func TestGetHostsWithIndex(t *testing.T) {
+	c, _ := NewCluster(5)
+	transform := func(pos int, node NodeID, block []byte) ([]byte, ReplicaInfo, error) {
+		return block, ReplicaInfo{SortColumn: pos, HasIndex: true}, nil
+	}
+	id, stats, err := c.WriteBlock("/f", randBlock(10_000, 6), 3, transform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < 3; pos++ {
+		hosts := c.NameNode().GetHostsWithIndex(id, pos)
+		if len(hosts) != 1 || hosts[0] != stats.PipelineNodes[pos] {
+			t.Errorf("GetHostsWithIndex(%d) = %v, want [%d]", pos, hosts, stats.PipelineNodes[pos])
+		}
+	}
+	if hosts := c.NameNode().GetHostsWithIndex(id, 99); len(hosts) != 0 {
+		t.Errorf("GetHostsWithIndex(99) = %v, want none", hosts)
+	}
+	if got := c.NameNode().GetHosts(id); len(got) != 3 {
+		t.Errorf("GetHosts = %v", got)
+	}
+}
+
+func TestTransformErrorFailsUpload(t *testing.T) {
+	c, _ := NewCluster(3)
+	transform := func(pos int, node NodeID, block []byte) ([]byte, ReplicaInfo, error) {
+		if pos == 1 {
+			return nil, ReplicaInfo{}, fmt.Errorf("boom")
+		}
+		return block, ReplicaInfo{}, nil
+	}
+	if _, _, err := c.WriteBlock("/f", randBlock(1000, 7), 3, transform); err == nil {
+		t.Error("upload with failing transform succeeded")
+	}
+}
+
+func TestCorruptReplicaDetectedOnRead(t *testing.T) {
+	c, _ := NewCluster(3)
+	id, stats, err := c.WriteBlock("/f", randBlock(100_000, 8), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := stats.PipelineNodes[1]
+	dn, _ := c.DataNode(victim)
+	if err := dn.CorruptByte(id, 31337); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadBlockFrom(victim, id); err == nil {
+		t.Error("read of corrupted replica succeeded")
+	}
+	// ReadBlockAny must fail over to a clean replica.
+	data, node, err := c.ReadBlockAny(id, victim)
+	if err != nil {
+		t.Fatalf("ReadBlockAny: %v", err)
+	}
+	if node == victim {
+		t.Error("ReadBlockAny returned the corrupted replica's node")
+	}
+	if len(data) != 100_000 {
+		t.Errorf("got %d bytes", len(data))
+	}
+}
+
+func TestKilledNodeFailover(t *testing.T) {
+	c, _ := NewCluster(4)
+	id, stats, err := c.WriteBlock("/f", randBlock(20_000, 9), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := stats.PipelineNodes[0]
+	if err := c.KillNode(dead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadBlockFrom(dead, id); err == nil {
+		t.Error("read from dead node succeeded")
+	}
+	if _, node, err := c.ReadBlockAny(id, dead); err != nil || node == dead {
+		t.Errorf("failover read: node=%d err=%v", node, err)
+	}
+	if got := len(c.AliveNodes()); got != 3 {
+		t.Errorf("AliveNodes = %d, want 3", got)
+	}
+	// Uploads must avoid the dead node.
+	for i := 0; i < 5; i++ {
+		_, st, err := c.WriteBlock("/g", randBlock(1000, int64(10+i)), 3, nil)
+		if err != nil {
+			t.Fatalf("upload after kill: %v", err)
+		}
+		for _, n := range st.PipelineNodes {
+			if n == dead {
+				t.Error("pipeline includes dead node")
+			}
+		}
+	}
+	// Revive and confirm reads work again.
+	dn, _ := c.DataNode(dead)
+	dn.Revive()
+	if _, err := c.ReadBlockFrom(dead, id); err != nil {
+		t.Errorf("read after revive: %v", err)
+	}
+}
+
+func TestInsufficientAliveNodes(t *testing.T) {
+	c, _ := NewCluster(3)
+	c.KillNode(0)
+	if _, _, err := c.WriteBlock("/f", randBlock(100, 11), 3, nil); err == nil {
+		t.Error("upload with 2 alive nodes at replication 3 succeeded")
+	}
+}
+
+func TestRoundRobinPlacementBalance(t *testing.T) {
+	c, _ := NewCluster(10)
+	counts := make(map[NodeID]int)
+	for i := 0; i < 100; i++ {
+		_, stats, err := c.WriteBlock("/f", randBlock(256, int64(i)), 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range stats.PipelineNodes {
+			counts[n]++
+		}
+	}
+	// 100 blocks × 3 replicas over 10 nodes = 30 per node exactly with
+	// round-robin placement.
+	for n, got := range counts {
+		if got != 30 {
+			t.Errorf("node %d stores %d replicas, want 30", n, got)
+		}
+	}
+}
+
+func TestHigherReplicationFactors(t *testing.T) {
+	// Figure 4(c) uses replication factors up to 10.
+	c, _ := NewCluster(10)
+	for _, r := range []int{1, 3, 5, 6, 7, 10} {
+		id, stats, err := c.WriteBlock(fmt.Sprintf("/r%d", r), randBlock(5000, int64(r)), r, nil)
+		if err != nil {
+			t.Fatalf("replication %d: %v", r, err)
+		}
+		if len(stats.PipelineNodes) != r || c.NameNode().ReplicaCount(id) != r {
+			t.Errorf("replication %d: pipeline %d, replicas %d", r, len(stats.PipelineNodes), c.NameNode().ReplicaCount(id))
+		}
+	}
+}
+
+func TestUploadStatsLinkBytes(t *testing.T) {
+	c, _ := NewCluster(3)
+	data := randBlock(100_000, 12)
+	_, stats, err := c.WriteBlock("/f", data, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every packet crosses 3 links; link bytes must cover 3× the data
+	// plus checksum overhead.
+	if stats.LinkBytes < 3*int64(len(data)) {
+		t.Errorf("LinkBytes = %d, want >= %d", stats.LinkBytes, 3*len(data))
+	}
+	overhead := float64(stats.LinkBytes) / float64(3*len(data))
+	if overhead > 1.02 {
+		t.Errorf("checksum overhead %.3f too large", overhead)
+	}
+}
+
+func TestNameNodeFileOps(t *testing.T) {
+	nn := NewNameNode()
+	if _, err := nn.FileBlocks("/missing"); err == nil {
+		t.Error("FileBlocks on missing file succeeded")
+	}
+	nn.AddBlock("/b", 1)
+	nn.AddBlock("/a", 2)
+	nn.AddBlock("/b", 3)
+	if files := nn.Files(); len(files) != 2 || files[0] != "/a" || files[1] != "/b" {
+		t.Errorf("Files = %v", files)
+	}
+	bs, err := nn.FileBlocks("/b")
+	if err != nil || len(bs) != 2 || bs[0] != 1 || bs[1] != 3 {
+		t.Errorf("FileBlocks(/b) = %v, %v", bs, err)
+	}
+}
+
+func TestDataNodeDoubleFlushRejected(t *testing.T) {
+	dn := NewDataNode(0)
+	data := randBlock(1000, 13)
+	if err := dn.flush(7, data, checksumChunks(data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dn.flush(7, data, checksumChunks(data)); err == nil {
+		t.Error("double flush of same block accepted")
+	}
+}
+
+func TestEmptyBlockUpload(t *testing.T) {
+	c, _ := NewCluster(3)
+	id, stats, err := c.WriteBlock("/empty", nil, 3, nil)
+	if err != nil {
+		t.Fatalf("empty block upload: %v", err)
+	}
+	if stats.Packets != 1 {
+		t.Errorf("empty block framed as %d packets, want 1", stats.Packets)
+	}
+	got, _, err := c.ReadBlockAny(id, 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty block read: %v bytes, %v", len(got), err)
+	}
+}

@@ -1,0 +1,134 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a datanode.
+type NodeID int
+
+// BlockID identifies a logical HDFS block.
+type BlockID int64
+
+// ReplicaInfo is the paper's HAILBlockReplicaInfo (§3.3): what the namenode
+// knows about one physical replica beyond its existence — the sort order,
+// the index, and the replica's (per-replica!) size. Classic HDFS replicas
+// have SortColumn == -1 and no index.
+type ReplicaInfo struct {
+	Size       int
+	SortColumn int // clustering/indexed attribute, -1 for unsorted replicas
+	HasIndex   bool
+	IndexSize  int
+}
+
+// NameNode keeps the paper's two directories (§3.3):
+//
+//	Dir_block: blockID            → set of datanodes
+//	Dir_rep:   (blockID,datanode) → HAILBlockReplicaInfo
+//
+// plus the file → blocks mapping every filesystem needs. Classic HDFS has
+// only Dir_block; Dir_rep is HAIL's extension, and is what lets the
+// scheduler send map tasks to the replica with the right index.
+type NameNode struct {
+	mu     sync.RWMutex
+	files  map[string][]BlockID
+	blocks map[BlockID][]NodeID // Dir_block; insertion order = pipeline order
+	reps   map[repKey]ReplicaInfo
+}
+
+type repKey struct {
+	block BlockID
+	node  NodeID
+}
+
+// NewNameNode returns an empty namenode.
+func NewNameNode() *NameNode {
+	return &NameNode{
+		files:  make(map[string][]BlockID),
+		blocks: make(map[BlockID][]NodeID),
+		reps:   make(map[repKey]ReplicaInfo),
+	}
+}
+
+// AddBlock appends a block to a file's block list.
+func (nn *NameNode) AddBlock(file string, b BlockID) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.files[file] = append(nn.files[file], b)
+}
+
+// FileBlocks returns the blocks of a file in order.
+func (nn *NameNode) FileBlocks(file string) ([]BlockID, error) {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	bs, ok := nn.files[file]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no such file %q", file)
+	}
+	return append([]BlockID(nil), bs...), nil
+}
+
+// Files lists all registered files, sorted.
+func (nn *NameNode) Files() []string {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	out := make([]string, 0, len(nn.files))
+	for f := range nn.files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterReplica records that node stores a replica of block with the
+// given metadata. Datanodes call this at the end of the upload pipeline
+// (§3.2 steps 11 and 14).
+func (nn *NameNode) RegisterReplica(b BlockID, node NodeID, info ReplicaInfo) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	key := repKey{b, node}
+	if _, dup := nn.reps[key]; !dup {
+		nn.blocks[b] = append(nn.blocks[b], node)
+	}
+	nn.reps[key] = info
+}
+
+// GetHosts is the BlockLocation.getHosts lookup: all datanodes holding a
+// replica of the block, in registration order.
+func (nn *NameNode) GetHosts(b BlockID) []NodeID {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	return append([]NodeID(nil), nn.blocks[b]...)
+}
+
+// GetHostsWithIndex is HAIL's new lookup (§4.3): the datanodes whose
+// replica of the block carries a clustered index on the given attribute.
+func (nn *NameNode) GetHostsWithIndex(b BlockID, column int) []NodeID {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	var out []NodeID
+	for _, node := range nn.blocks[b] {
+		info := nn.reps[repKey{b, node}]
+		if info.HasIndex && info.SortColumn == column {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// ReplicaInfo returns Dir_rep's entry for (block, node).
+func (nn *NameNode) ReplicaInfo(b BlockID, node NodeID) (ReplicaInfo, bool) {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	info, ok := nn.reps[repKey{b, node}]
+	return info, ok
+}
+
+// ReplicaCount returns the number of registered replicas of a block.
+func (nn *NameNode) ReplicaCount(b BlockID) int {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	return len(nn.blocks[b])
+}

@@ -1,0 +1,133 @@
+// Package hdfs is an in-process reimplementation of the HDFS machinery HAIL
+// modifies (paper §3): a namenode with block and replica directories,
+// datanodes with local block stores, and the packet/chunk/checksum upload
+// pipeline with its acknowledgement chain.
+//
+// It reproduces the protocol at the level the paper describes: blocks are
+// cut into 512-byte chunks, chunks are collected into packets of up to
+// 64 KB with one CRC-32 checksum per chunk, packets flow client → DN1 →
+// DN2 → DN3, only the last datanode in the chain verifies checksums, and
+// acknowledgements travel back through the chain with each datanode
+// appending its ID. Two upload modes exist: classic HDFS (flush chunk data
+// and checksums as packets arrive) and HAIL (assemble the whole block in
+// memory, transform it per replica — sort + index —, recompute checksums,
+// then flush; §3.2).
+package hdfs
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Chunk and packet framing constants (paper §3.2: "the data is further
+// partitioned into chunks of constant size 512B ... In total a packet has
+// a size of up to 64KB").
+const (
+	ChunkSize       = 512
+	ChunksPerPacket = 126 // 126 × (512 + 4) ≈ 64 KB per packet
+)
+
+// Packet is a sequence of chunks plus a checksum for each chunk.
+type Packet struct {
+	Seq  int      // packet sequence number within the block, from 0
+	Data []byte   // concatenated chunk payloads (last chunk may be short)
+	Sums []uint32 // one CRC-32 per chunk
+	Last bool     // marks the final packet of the block
+}
+
+// NumChunks returns the number of chunks in the packet.
+func (p *Packet) NumChunks() int { return len(p.Sums) }
+
+// checksumChunks computes one CRC-32 (IEEE) per 512-byte chunk of data.
+func checksumChunks(data []byte) []uint32 {
+	n := (len(data) + ChunkSize - 1) / ChunkSize
+	sums := make([]uint32, 0, n)
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		sums = append(sums, crc32.ChecksumIEEE(data[off:end]))
+	}
+	return sums
+}
+
+// BuildPackets frames a block into packets, computing chunk checksums.
+// An empty block still produces one empty final packet so the ACK chain
+// and flush semantics run.
+func BuildPackets(block []byte) []Packet {
+	payload := ChunksPerPacket * ChunkSize
+	var pkts []Packet
+	for off := 0; ; off += payload {
+		end := off + payload
+		if end >= len(block) {
+			end = len(block)
+		}
+		data := block[off:end]
+		pkts = append(pkts, Packet{
+			Seq:  len(pkts),
+			Data: data,
+			Sums: checksumChunks(data),
+			Last: end == len(block),
+		})
+		if end == len(block) {
+			return pkts
+		}
+	}
+}
+
+// Verify recomputes the chunk checksums of the packet and compares them to
+// the carried ones. This is what the last datanode in the pipeline does for
+// every packet (§3.2 step 9).
+func (p *Packet) Verify() error {
+	want := checksumChunks(p.Data)
+	if len(want) != len(p.Sums) {
+		return fmt.Errorf("hdfs: packet %d carries %d checksums for %d chunks", p.Seq, len(p.Sums), len(want))
+	}
+	for i := range want {
+		if want[i] != p.Sums[i] {
+			return fmt.Errorf("hdfs: packet %d chunk %d checksum mismatch", p.Seq, i)
+		}
+	}
+	return nil
+}
+
+// Reassemble concatenates packet payloads back into the block, validating
+// sequence numbers. This is the in-memory reassembly every HAIL datanode
+// performs before sorting (§3.2 step 6).
+func Reassemble(pkts []Packet) ([]byte, error) {
+	total := 0
+	for i, p := range pkts {
+		if p.Seq != i {
+			return nil, fmt.Errorf("hdfs: packet out of order: got seq %d at position %d", p.Seq, i)
+		}
+		if p.Last != (i == len(pkts)-1) {
+			return nil, fmt.Errorf("hdfs: misplaced last-packet marker at seq %d", p.Seq)
+		}
+		total += len(p.Data)
+	}
+	if len(pkts) == 0 {
+		return nil, fmt.Errorf("hdfs: no packets")
+	}
+	out := make([]byte, 0, total)
+	for i := range pkts {
+		out = append(out, pkts[i].Data...)
+	}
+	return out, nil
+}
+
+// VerifyStored checks stored block bytes against a stored checksum file
+// (one CRC-32 per 512-byte chunk), as the read path does before handing
+// data to a record reader.
+func VerifyStored(data []byte, sums []uint32) error {
+	want := checksumChunks(data)
+	if len(want) != len(sums) {
+		return fmt.Errorf("hdfs: checksum file has %d entries for %d chunks", len(sums), len(want))
+	}
+	for i := range want {
+		if want[i] != sums[i] {
+			return fmt.Errorf("hdfs: stored chunk %d corrupt", i)
+		}
+	}
+	return nil
+}

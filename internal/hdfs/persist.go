@@ -1,0 +1,147 @@
+package hdfs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// On-disk persistence for a cluster, mirroring HDFS's storage layout: each
+// replica is a data file plus a separate checksum file (one CRC-32 per
+// 512-byte chunk), and the namenode's directories are a manifest. This is
+// what lets the hailload and hailquery commands operate across process
+// runs.
+
+// manifest is the serialized namenode + cluster state.
+type manifest struct {
+	Nodes     int                  `json:"nodes"`
+	NextBlock BlockID              `json:"next_block"`
+	Files     map[string][]BlockID `json:"files"`
+	Replicas  []manifestReplica    `json:"replicas"`
+}
+
+type manifestReplica struct {
+	Block BlockID     `json:"block"`
+	Node  NodeID      `json:"node"`
+	Info  ReplicaInfo `json:"info"`
+}
+
+func replicaDataPath(dir string, node NodeID, b BlockID) string {
+	return filepath.Join(dir, fmt.Sprintf("dn%d", node), fmt.Sprintf("blk_%d.dat", b))
+}
+
+func replicaSumPath(dir string, node NodeID, b BlockID) string {
+	return filepath.Join(dir, fmt.Sprintf("dn%d", node), fmt.Sprintf("blk_%d.crc", b))
+}
+
+// Save writes the cluster's state to dir: a manifest plus per-datanode
+// subdirectories holding each replica's data and checksum files.
+func (c *Cluster) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{
+		Nodes:     c.NumNodes(),
+		NextBlock: c.nextBlock,
+		Files:     make(map[string][]BlockID),
+	}
+	c.nn.mu.RLock()
+	for f, bs := range c.nn.files {
+		m.Files[f] = append([]BlockID(nil), bs...)
+	}
+	type rep struct {
+		key  repKey
+		info ReplicaInfo
+	}
+	var reps []rep
+	for k, info := range c.nn.reps {
+		reps = append(reps, rep{k, info})
+	}
+	c.nn.mu.RUnlock()
+
+	for _, rp := range reps {
+		m.Replicas = append(m.Replicas, manifestReplica{
+			Block: rp.key.block, Node: rp.key.node, Info: rp.info,
+		})
+		dn := c.dns[rp.key.node]
+		dn.mu.RLock()
+		stored, ok := dn.replicas[rp.key.block]
+		dn.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("hdfs: namenode lists replica (%d,%d) the datanode does not store",
+				rp.key.block, rp.key.node)
+		}
+		if err := os.MkdirAll(filepath.Dir(replicaDataPath(dir, rp.key.node, rp.key.block)), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(replicaDataPath(dir, rp.key.node, rp.key.block), stored.data, 0o644); err != nil {
+			return err
+		}
+		sums := make([]byte, 0, 4*len(stored.sums))
+		for _, s := range stored.sums {
+			sums = binary.LittleEndian.AppendUint32(sums, s)
+		}
+		if err := os.WriteFile(replicaSumPath(dir, rp.key.node, rp.key.block), sums, 0o644); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+}
+
+// Load reconstructs a cluster from a directory written by Save, verifying
+// every replica against its checksum file.
+func Load(dir string) (*Cluster, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("hdfs: bad manifest: %v", err)
+	}
+	c, err := NewCluster(m.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	c.nextBlock = m.NextBlock
+	for f, bs := range m.Files {
+		for _, b := range bs {
+			c.nn.AddBlock(f, b)
+		}
+	}
+	for _, rp := range m.Replicas {
+		if int(rp.Node) < 0 || int(rp.Node) >= m.Nodes {
+			return nil, fmt.Errorf("hdfs: manifest replica on unknown node %d", rp.Node)
+		}
+		data, err := os.ReadFile(replicaDataPath(dir, rp.Node, rp.Block))
+		if err != nil {
+			return nil, err
+		}
+		rawSums, err := os.ReadFile(replicaSumPath(dir, rp.Node, rp.Block))
+		if err != nil {
+			return nil, err
+		}
+		if len(rawSums)%4 != 0 {
+			return nil, fmt.Errorf("hdfs: corrupt checksum file for block %d on node %d", rp.Block, rp.Node)
+		}
+		sums := make([]uint32, len(rawSums)/4)
+		for i := range sums {
+			sums[i] = binary.LittleEndian.Uint32(rawSums[i*4:])
+		}
+		if err := VerifyStored(data, sums); err != nil {
+			return nil, fmt.Errorf("hdfs: block %d on node %d: %v", rp.Block, rp.Node, err)
+		}
+		if err := c.dns[rp.Node].flush(rp.Block, data, sums); err != nil {
+			return nil, err
+		}
+		c.nn.RegisterReplica(rp.Block, rp.Node, rp.Info)
+	}
+	return c, nil
+}

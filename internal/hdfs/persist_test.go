@@ -1,0 +1,139 @@
+package hdfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix of HDFS-mode and transformed (HAIL-style) blocks.
+	var ids []BlockID
+	for i := 0; i < 5; i++ {
+		id, _, err := c.WriteBlock("/plain", randBlock(20_000+i, int64(i)), 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	transform := func(pos int, node NodeID, block []byte) ([]byte, ReplicaInfo, error) {
+		out := append([]byte{byte(pos + 1)}, block...)
+		return out, ReplicaInfo{SortColumn: pos, HasIndex: true, IndexSize: 10}, nil
+	}
+	hailID, _, err := c.WriteBlock("/hail", randBlock(30_000, 99), 3, transform)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// Files and blocks survive.
+	for _, f := range []string{"/plain", "/hail"} {
+		orig, _ := c.NameNode().FileBlocks(f)
+		got, err := loaded.NameNode().FileBlocks(f)
+		if err != nil || len(got) != len(orig) {
+			t.Fatalf("file %s: %v blocks, err=%v", f, got, err)
+		}
+	}
+	// Replica bytes identical, checksums verified on read.
+	for _, id := range ids {
+		for _, node := range c.NameNode().GetHosts(id) {
+			want, err := c.ReadBlockFrom(node, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.ReadBlockFrom(node, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("block %d on node %d differs after reload", id, node)
+			}
+		}
+	}
+	// Dir_rep metadata survives (the HAIL essential).
+	for pos, node := range c.NameNode().GetHosts(hailID) {
+		info, ok := loaded.NameNode().ReplicaInfo(hailID, node)
+		if !ok || info.SortColumn != pos || !info.HasIndex {
+			t.Errorf("replica info lost for node %d: %+v ok=%v", node, info, ok)
+		}
+	}
+	// getHostsWithIndex works on the loaded cluster.
+	if hosts := loaded.NameNode().GetHostsWithIndex(hailID, 1); len(hosts) != 1 {
+		t.Errorf("GetHostsWithIndex after reload: %v", hosts)
+	}
+	// New uploads continue from the saved block counter (no ID reuse).
+	newID, _, err := loaded.WriteBlock("/more", randBlock(1000, 7), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= hailID {
+		t.Errorf("block ID %d reused after reload (last was %d)", newID, hailID)
+	}
+}
+
+func TestLoadDetectsTamperedReplica(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCluster(3)
+	id, stats, err := c.WriteBlock("/f", randBlock(50_000, 3), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in one stored data file.
+	victim := stats.PipelineNodes[1]
+	path := replicaDataPath(dir, victim, id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[1234] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("Load accepted a tampered replica")
+	}
+}
+
+func TestLoadMissingOrBadManifest(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("Load of empty dir succeeded")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("Load of corrupt manifest succeeded")
+	}
+}
+
+func TestSaveLoadEmptyCluster(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCluster(2)
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", loaded.NumNodes())
+	}
+}

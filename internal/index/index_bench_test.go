@@ -1,0 +1,54 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	blk := sortedBlock(64*1024, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(blk, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionRange(b *testing.B) {
+	blk := sortedBlock(64*1024, 0, 2)
+	ix, err := Build(blk, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo := schema.IntVal(1000)
+	hi := schema.IntVal(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.PartitionRange(&lo, &hi)
+	}
+}
+
+func BenchmarkMarshalUnmarshal(b *testing.B) {
+	blk := sortedBlock(64*1024, 0, 3)
+	ix, err := Build(blk, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := ix.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ix.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

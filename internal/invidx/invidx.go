@@ -1,0 +1,190 @@
+// Package invidx implements the inverted-list index §3.5 names as future
+// work: "inverted lists for untyped or bad records, i.e. records not
+// obeying a specific schema".
+//
+// Bad records are kept verbatim in a block's bad-record section (§3.1);
+// an inverted index over their tokens lets a job find the blocks and
+// records mentioning a term without scanning every bad record of every
+// block. The same structure doubles as the full-text index stand-in for
+// the related-work comparison with Twitter's Hadoop full-text indexing
+// (§5): building it costs a tokenization pass plus postings
+// materialization — far more per byte than HAIL's sort-based clustered
+// indexing, which is the comparison the paper reports.
+package invidx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Index maps lower-cased tokens to the ascending record IDs containing
+// them.
+type Index struct {
+	numRecords int
+	postings   map[string][]uint32
+	tokens     []string // sorted, for deterministic serialization
+}
+
+// Tokenize splits text into lower-cased alphanumeric tokens.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Build indexes the given records (typically a block's bad-record
+// section).
+func Build(records []string) *Index {
+	ix := &Index{numRecords: len(records), postings: make(map[string][]uint32)}
+	for id, rec := range records {
+		seen := make(map[string]bool)
+		for _, tok := range Tokenize(rec) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			ix.postings[tok] = append(ix.postings[tok], uint32(id))
+		}
+	}
+	ix.tokens = make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		ix.tokens = append(ix.tokens, t)
+	}
+	sort.Strings(ix.tokens)
+	return ix
+}
+
+// NumRecords returns the number of indexed records.
+func (ix *Index) NumRecords() int { return ix.numRecords }
+
+// NumTokens returns the vocabulary size.
+func (ix *Index) NumTokens() int { return len(ix.tokens) }
+
+// Lookup returns the ascending record IDs containing the token. The
+// returned slice must not be modified.
+func (ix *Index) Lookup(token string) []uint32 {
+	return ix.postings[strings.ToLower(token)]
+}
+
+// LookupAll intersects the postings of every token (conjunctive search).
+func (ix *Index) LookupAll(tokens ...string) []uint32 {
+	if len(tokens) == 0 {
+		return nil
+	}
+	result := ix.Lookup(tokens[0])
+	for _, tok := range tokens[1:] {
+		result = intersect(result, ix.Lookup(tok))
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	return result
+}
+
+func intersect(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Binary layout: magic "HINV", version uint16, numRecords uint32,
+// numTokens uint32, then per token {len uint16, bytes, count uint32,
+// postings...} with delta-encoded postings.
+const (
+	invMagic   = "HINV"
+	invVersion = 1
+)
+
+// Marshal serializes the index. Postings are delta-encoded; an inverted
+// index is dense by nature, which is exactly why the paper prefers sparse
+// clustered indexes for typed data.
+func (ix *Index) Marshal() ([]byte, error) {
+	out := make([]byte, 0, 14)
+	out = append(out, invMagic...)
+	out = binary.LittleEndian.AppendUint16(out, invVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(ix.numRecords))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ix.tokens)))
+	for _, tok := range ix.tokens {
+		if len(tok) > math.MaxUint16 {
+			return nil, fmt.Errorf("invidx: token too long")
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(tok)))
+		out = append(out, tok...)
+		ps := ix.postings[tok]
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(ps)))
+		prev := uint32(0)
+		for _, p := range ps {
+			out = binary.LittleEndian.AppendUint32(out, p-prev)
+			prev = p
+		}
+	}
+	return out, nil
+}
+
+// Unmarshal decodes a serialized index.
+func Unmarshal(data []byte) (*Index, error) {
+	if len(data) < 14 {
+		return nil, fmt.Errorf("invidx: too short")
+	}
+	if string(data[:4]) != invMagic {
+		return nil, fmt.Errorf("invidx: bad magic %q", data[:4])
+	}
+	p := 4
+	if v := binary.LittleEndian.Uint16(data[p:]); v != invVersion {
+		return nil, fmt.Errorf("invidx: unsupported version %d", v)
+	}
+	p += 2
+	ix := &Index{postings: make(map[string][]uint32)}
+	ix.numRecords = int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	nTokens := int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	for i := 0; i < nTokens; i++ {
+		if p+2 > len(data) {
+			return nil, fmt.Errorf("invidx: truncated token header")
+		}
+		tl := int(binary.LittleEndian.Uint16(data[p:]))
+		p += 2
+		if p+tl+4 > len(data) {
+			return nil, fmt.Errorf("invidx: truncated token")
+		}
+		tok := string(data[p : p+tl])
+		p += tl
+		n := int(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+		if p+4*n > len(data) {
+			return nil, fmt.Errorf("invidx: truncated postings for %q", tok)
+		}
+		ps := make([]uint32, n)
+		prev := uint32(0)
+		for j := 0; j < n; j++ {
+			prev += binary.LittleEndian.Uint32(data[p:])
+			ps[j] = prev
+			p += 4
+		}
+		ix.postings[tok] = ps
+		ix.tokens = append(ix.tokens, tok)
+	}
+	for i := 1; i < len(ix.tokens); i++ {
+		if ix.tokens[i-1] >= ix.tokens[i] {
+			return nil, fmt.Errorf("invidx: tokens out of order")
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,175 @@
+package invidx
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var docs = []string{
+	"GET /index.html HTTP/1.1 broken header",
+	"malformed record with STRANGE bytes",
+	"another broken LINE from sourceIP 134.96.223.160",
+	"",
+	"broken broken broken",
+	"134.96.223.160 strikes again",
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("GET /a-b.html?q=1 X")
+	want := []string{"get", "a", "b", "html", "q", "1", "x"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokenize("")) != 0 {
+		t.Error("empty text produced tokens")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ix := Build(docs)
+	if ix.NumRecords() != len(docs) {
+		t.Fatalf("NumRecords = %d", ix.NumRecords())
+	}
+	got := ix.Lookup("broken")
+	want := []uint32{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Lookup(broken) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("posting %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Case-insensitive; duplicates within one record appear once.
+	if len(ix.Lookup("STRANGE")) != 1 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if ix.Lookup("absent-token") != nil {
+		t.Error("absent token returned postings")
+	}
+}
+
+func TestLookupAll(t *testing.T) {
+	ix := Build(docs)
+	got := ix.LookupAll("broken", "line")
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("LookupAll = %v, want [2]", got)
+	}
+	if ix.LookupAll("broken", "absent") != nil {
+		t.Error("conjunction with absent token matched")
+	}
+	if ix.LookupAll() != nil {
+		t.Error("empty conjunction matched")
+	}
+	// The needle IP, tokenized, appears in records 2 and 5.
+	ip := ix.LookupAll("134", "96", "223", "160")
+	if len(ip) != 2 || ip[0] != 2 || ip[1] != 5 {
+		t.Errorf("IP search = %v, want [2 5]", ip)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	ix := Build(docs)
+	data, err := ix.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != ix.NumRecords() || got.NumTokens() != ix.NumTokens() {
+		t.Fatal("metadata mismatch")
+	}
+	for _, tok := range []string{"broken", "strange", "134", "again"} {
+		a, b := ix.Lookup(tok), got.Lookup(tok)
+		if len(a) != len(b) {
+			t.Fatalf("%q: %v vs %v", tok, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q posting %d differs", tok, i)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	ix := Build(docs)
+	data, _ := ix.Marshal()
+	if _, err := Unmarshal(data[:8]); err == nil {
+		t.Error("truncated index accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Unmarshal(data[:len(data)-2]); err == nil {
+		t.Error("truncated postings accepted")
+	}
+}
+
+func TestPostingsInvariant(t *testing.T) {
+	// Property: every record that contains a token is in its postings,
+	// ascending, exactly once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+		records := make([]string, 50)
+		for i := range records {
+			var sb strings.Builder
+			for w := 0; w < rng.Intn(8); w++ {
+				sb.WriteString(vocab[rng.Intn(len(vocab))])
+				sb.WriteByte(' ')
+			}
+			records[i] = sb.String()
+		}
+		ix := Build(records)
+		for _, tok := range vocab {
+			ps := ix.Lookup(tok)
+			want := map[uint32]bool{}
+			for id, rec := range records {
+				if strings.Contains(rec, tok) {
+					want[uint32(id)] = true
+				}
+			}
+			if len(ps) != len(want) {
+				return false
+			}
+			for i, p := range ps {
+				if !want[p] || (i > 0 && ps[i-1] >= p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	records := make([]string, 2000)
+	var bytes int64
+	for i := range records {
+		records[i] = fmt.Sprintf("record %d with some tokens %d %d and text noise-%d",
+			i, rng.Intn(100), rng.Intn(1000), rng.Intn(50))
+		bytes += int64(len(records[i]))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(records)
+	}
+}

@@ -1,0 +1,287 @@
+package mapred
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/hdfs"
+)
+
+// TaskReport is the outcome of one map task.
+type TaskReport struct {
+	TaskID   int
+	Split    Split
+	Node     hdfs.NodeID // node the task finally ran on
+	Stats    TaskStats
+	Attempts int  // 1 = first attempt succeeded
+	Local    bool // ran on one of the split's preferred locations
+}
+
+// JobResult is the full outcome of a job run.
+type JobResult struct {
+	Output     []KV // map output for map-only jobs, reduce output otherwise
+	Tasks      []TaskReport
+	SplitPhase TaskStats // I/O performed during the split phase
+	// ReExecuted counts task attempts lost to node failures and retried.
+	ReExecuted int
+}
+
+// TotalStats sums all task stats.
+func (r *JobResult) TotalStats() TaskStats {
+	var total TaskStats
+	for _, t := range r.Tasks {
+		total.Add(t.Stats)
+	}
+	return total
+}
+
+// SchedulingPolicy selects how the JobTracker trades locality against
+// slot utilization.
+type SchedulingPolicy int
+
+const (
+	// DefaultScheduling models Hadoop's FIFO behaviour: a task prefers
+	// its split's locations, but when those trackers are clearly busier
+	// than an idle one, it takes the free remote slot (losing locality).
+	DefaultScheduling SchedulingPolicy = iota
+	// DelayScheduling models the Delay Scheduler of Zaharia et al.
+	// (paper §4.3: "one can significantly improve data locality by
+	// simply using an adequate scheduling policy (e.g. the Delay
+	// Scheduler)"): a task waits for a slot on a preferred node instead
+	// of running remotely, accepting transient imbalance.
+	DelayScheduling
+)
+
+// localityTolerance is the load imbalance DefaultScheduling accepts
+// before trading locality for a free slot.
+const localityTolerance = 2
+
+// Engine executes jobs against a cluster. It plays the roles of JobClient
+// (split phase), JobTracker (locality-aware assignment, failure handling)
+// and TaskTrackers (task execution).
+type Engine struct {
+	Cluster *hdfs.Cluster
+	// Parallelism bounds concurrent task execution; 0 = GOMAXPROCS. This
+	// is an execution-speed knob, not a model parameter (sim models slot
+	// parallelism analytically).
+	Parallelism int
+	// Scheduling selects the locality policy (DefaultScheduling unless
+	// set).
+	Scheduling SchedulingPolicy
+	// OnProgress, if set, is called after every completed task with
+	// (done, total). The fault-tolerance experiment uses it to kill a
+	// node at 50% progress (§6.4.3).
+	OnProgress func(done, total int)
+}
+
+// Run executes the job: split phase, map phase with locality scheduling
+// and failure recovery, then an optional reduce phase.
+func (e *Engine) Run(job *Job) (*JobResult, error) {
+	if job.Map == nil {
+		return nil, fmt.Errorf("mapred: job %q has no map function", job.Name)
+	}
+	splits, err := job.Input.Splits(job.File)
+	if err != nil {
+		return nil, fmt.Errorf("mapred: split phase for %q: %v", job.Name, err)
+	}
+	res := &JobResult{SplitPhase: job.Input.SplitPhaseStats()}
+
+	// The JobTracker assigns each split to a computing node, preferring
+	// the split's own locations (data locality, §4.2) and balancing load
+	// across trackers.
+	assignments := e.schedule(splits)
+
+	par := e.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	type taskOutcome struct {
+		report TaskReport
+		kvs    []KV
+		err    error
+	}
+	outcomes := make([]taskOutcome, len(splits))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+
+	for i := range splits {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(taskID int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			report, kvs, err := e.runTask(job, taskID, splits[taskID], assignments[taskID])
+			outcomes[taskID] = taskOutcome{report, kvs, err}
+			progressMu.Lock()
+			done++
+			d := done
+			progressMu.Unlock()
+			if e.OnProgress != nil {
+				e.OnProgress(d, len(splits))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var mapOut []KV
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Tasks = append(res.Tasks, o.report)
+		if o.report.Attempts > 1 {
+			res.ReExecuted += o.report.Attempts - 1
+		}
+		mapOut = append(mapOut, o.kvs...)
+	}
+
+	if job.Reduce == nil {
+		res.Output = mapOut
+		return res, nil
+	}
+	res.Output = runReduce(job.Reduce, mapOut)
+	return res, nil
+}
+
+// schedule assigns each split a node, preferring the split's locations and
+// spreading load evenly over the trackers (the paper's locality-and-
+// availability policy, §4.2), modulated by the locality policy.
+func (e *Engine) schedule(splits []Split) []hdfs.NodeID {
+	loads := make(map[hdfs.NodeID]int)
+	alive := make(map[hdfs.NodeID]bool)
+	for _, n := range e.Cluster.AliveNodes() {
+		alive[n] = true
+		loads[n] = 0
+	}
+	leastLoaded := func() hdfs.NodeID {
+		best := hdfs.NodeID(-1)
+		for n := range loads {
+			if best == -1 || loads[n] < loads[best] ||
+				(loads[n] == loads[best] && n < best) {
+				best = n
+			}
+		}
+		return best
+	}
+	out := make([]hdfs.NodeID, len(splits))
+	for i, s := range splits {
+		best := hdfs.NodeID(-1)
+		for _, loc := range s.Locations {
+			if !alive[loc] {
+				continue
+			}
+			if best == -1 || loads[loc] < loads[best] {
+				best = loc
+			}
+		}
+		if best == -1 {
+			// No preferred location is alive: availability-only.
+			best = leastLoaded()
+		} else if e.Scheduling == DefaultScheduling {
+			// FIFO behaviour: a clearly idler remote tracker steals the
+			// task; delay scheduling would instead wait for the local
+			// slot.
+			if idle := leastLoaded(); loads[best]-loads[idle] > localityTolerance {
+				best = idle
+			}
+		}
+		loads[best]++
+		out[i] = best
+	}
+	return out
+}
+
+// runTask executes one map task, retrying on another node when the
+// assigned node (or a replica it reads) dies mid-task. Retries model
+// Hadoop's task re-execution after the expiry interval.
+func (e *Engine) runTask(job *Job, taskID int, split Split, node hdfs.NodeID) (TaskReport, []KV, error) {
+	const maxAttempts = 4
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		runOn := node
+		if dn, err := e.Cluster.DataNode(runOn); err != nil || !dn.Alive() {
+			runOn = e.pickAliveFallback(split)
+			if runOn == -1 {
+				return TaskReport{}, nil, fmt.Errorf("mapred: no alive node for task %d", taskID)
+			}
+		}
+		rr, err := job.Input.Open(split, runOn)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var kvs []KV
+		var outBytes int64
+		emit := func(k, v string) {
+			kvs = append(kvs, KV{k, v})
+			outBytes += int64(len(k) + len(v) + 2)
+		}
+		stats, err := rr.Read(func(r Record) { job.Map(r, emit) })
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if job.Combine != nil {
+			kvs = runReduce(job.Combine, kvs)
+			outBytes = 0
+			for _, kv := range kvs {
+				outBytes += int64(len(kv.Key) + len(kv.Value) + 2)
+			}
+		}
+		stats.OutputBytes = outBytes
+		local := false
+		for _, loc := range split.Locations {
+			if loc == runOn {
+				local = true
+				break
+			}
+		}
+		return TaskReport{
+			TaskID:   taskID,
+			Split:    split,
+			Node:     runOn,
+			Stats:    stats,
+			Attempts: attempt,
+			Local:    local,
+		}, kvs, nil
+	}
+	return TaskReport{}, nil, fmt.Errorf("mapred: task %d failed after %d attempts: %v", taskID, maxAttempts, lastErr)
+}
+
+func (e *Engine) pickAliveFallback(split Split) hdfs.NodeID {
+	for _, loc := range split.Locations {
+		if dn, err := e.Cluster.DataNode(loc); err == nil && dn.Alive() {
+			return loc
+		}
+	}
+	alive := e.Cluster.AliveNodes()
+	if len(alive) == 0 {
+		return -1
+	}
+	return alive[0]
+}
+
+// runReduce shuffles map output by key and applies the reduce function in
+// sorted key order, so results are deterministic.
+func runReduce(reduce ReduceFunc, mapOut []KV) []KV {
+	groups := make(map[string][]string)
+	for _, kv := range mapOut {
+		groups[kv.Key] = append(groups[kv.Key], kv.Value)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []KV
+	emit := func(k, v string) { out = append(out, KV{k, v}) }
+	for _, k := range keys {
+		reduce(k, groups[k], emit)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package mapred is an in-process MapReduce substrate modelled on Hadoop
+// MapReduce as the paper describes it (§4.2): a job client computes input
+// splits via an InputFormat, a job tracker schedules one map task per split
+// honouring data locality, task trackers execute map tasks whose record
+// readers pull records out of HDFS blocks, and an optional shuffle/reduce
+// phase follows. Node failures are detected after an expiry interval and
+// failed tasks are re-executed on surviving nodes (§6.4.3).
+//
+// All record movement is real: map functions see real records read from
+// real stored block bytes, and per-task statistics (bytes, seeks, records)
+// are measured, not estimated. Wall-clock time is *not* modelled here —
+// the sim package turns the measured statistics into simulated cluster
+// time.
+package mapred
+
+import (
+	"repro/internal/hdfs"
+	"repro/internal/pax"
+	"repro/internal/schema"
+)
+
+// Record is one input record delivered to a map function.
+type Record struct {
+	// Row holds the typed attribute values. For HAIL index/projection
+	// reads it contains exactly the projected attributes, in projection
+	// order (the map function "does not have to split the record into
+	// attributes", §4.1). For full-row readers it is the whole tuple.
+	Row schema.Row
+	// Raw is the unparsed text line, set by text-mode readers and for bad
+	// records.
+	Raw string
+	// Bad flags records that did not match the schema; HAIL passes them
+	// through for the map function to handle (§4.3).
+	Bad bool
+}
+
+// KV is one key/value pair emitted by a map or reduce function.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Emit collects output from map and reduce functions.
+type Emit func(key, value string)
+
+// MapFunc is a user map function.
+type MapFunc func(r Record, emit Emit)
+
+// ReduceFunc is a user reduce function, called once per distinct key.
+type ReduceFunc func(key string, values []string, emit Emit)
+
+// TaskStats aggregates the real resource usage of one map task. The
+// experiment harness scales these with the block scale factor and feeds
+// them to sim.TaskTime.
+type TaskStats struct {
+	Blocks         int   // blocks processed by the task
+	BytesRead      int64 // data bytes read (PAX column ranges or raw text)
+	IndexBytesRead int64 // index bytes read (sparse directory / trojan index)
+	Seeks          int   // non-contiguous reads
+	IndexScans     int   // blocks processed via a clustered index
+	FullScans      int   // blocks processed by scanning
+	// PartitionsScanned counts 1,024-row partitions covered by PAX range
+	// reads. Partition reads have a fixed floor (a point lookup touches
+	// one partition at any block size), so the cost model scales them
+	// separately from proportional byte counts.
+	PartitionsScanned int64
+	RecordsScanned    int64 // input records examined
+	RecordsDelivered  int64 // records passed to the map function
+	AttrsDelivered    int64 // attribute values materialized for the map function
+	TextBytesParsed   int64 // text bytes split/parsed (Hadoop path CPU)
+	RemoteReads       int   // blocks read from a non-local replica
+	OutputBytes       int64 // bytes emitted by the map function
+}
+
+// Add accumulates other into s.
+func (s *TaskStats) Add(other TaskStats) {
+	s.Blocks += other.Blocks
+	s.BytesRead += other.BytesRead
+	s.IndexBytesRead += other.IndexBytesRead
+	s.Seeks += other.Seeks
+	s.IndexScans += other.IndexScans
+	s.FullScans += other.FullScans
+	s.PartitionsScanned += other.PartitionsScanned
+	s.RecordsScanned += other.RecordsScanned
+	s.RecordsDelivered += other.RecordsDelivered
+	s.AttrsDelivered += other.AttrsDelivered
+	s.TextBytesParsed += other.TextBytesParsed
+	s.RemoteReads += other.RemoteReads
+	s.OutputBytes += other.OutputBytes
+}
+
+// AddIO folds a PAX reader's I/O statistics into the task stats.
+func (s *TaskStats) AddIO(io pax.IOStats) {
+	s.BytesRead += io.BytesRead
+	s.Seeks += io.Seeks
+}
+
+// Split is one unit of map-task input (§4.2). The default Hadoop policy
+// creates one split per block; HailSplitting packs many blocks of one
+// locality group into a single split (§4.3).
+type Split struct {
+	Blocks []hdfs.BlockID
+	// Locations are the candidate nodes for scheduling this split, best
+	// first (for HAIL: nodes holding the replica with the matching index,
+	// via getHostsWithIndex).
+	Locations []hdfs.NodeID
+	// Replica maps each block to the preferred replica's node. Readers
+	// consult it to open the replica with the right clustered index; a
+	// missing entry means any replica will do.
+	Replica map[hdfs.BlockID]hdfs.NodeID
+}
+
+// InputFormat computes splits for a file and opens record readers for
+// them. Each system (Hadoop text scan, Hadoop++ trojan, HAIL) provides its
+// own implementation — the UDF surface the paper works through.
+type InputFormat interface {
+	// Splits implements the job client's split phase.
+	Splits(file string) ([]Split, error)
+	// Open creates the record reader for a split, executing on the given
+	// node. SetupCost reports any per-split-phase extras (e.g. Hadoop++
+	// reading block headers) — see SplitPhaseStats.
+	Open(split Split, node hdfs.NodeID) (RecordReader, error)
+	// SplitPhaseStats reports the I/O the split phase itself performed
+	// (Hadoop++ reads every block's index header at split time; HAIL and
+	// Hadoop read nothing, §6.4.1).
+	SplitPhaseStats() TaskStats
+}
+
+// RecordReader iterates the records of one split, invoking fn for each.
+// Implementations must accumulate their real I/O into the returned stats.
+type RecordReader interface {
+	Read(fn func(Record)) (TaskStats, error)
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name  string
+	File  string
+	Input InputFormat
+	Map   MapFunc
+	// Combine, if set, is applied to each map task's output per key
+	// before the shuffle (Hadoop's combiner), shrinking the intermediate
+	// data. It must be semantically idempotent with Reduce.
+	Combine ReduceFunc
+	Reduce  ReduceFunc // nil for map-only jobs (all of the paper's queries)
+}

@@ -1,0 +1,364 @@
+package mapred
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/hdfs"
+)
+
+// fakeInput serves records straight from memory, one split per "block",
+// with configurable locations. It lets engine tests control scheduling and
+// failure behaviour precisely.
+type fakeInput struct {
+	cluster *hdfs.Cluster
+	splits  []Split
+	records map[hdfs.BlockID][]Record
+	// failOnDead makes Open/Read fail when the assigned node is dead,
+	// emulating a reader that loses its replica.
+	failOnDead bool
+
+	mu    sync.Mutex
+	opens map[hdfs.NodeID]int
+}
+
+func (f *fakeInput) Splits(string) ([]Split, error) { return f.splits, nil }
+
+func (f *fakeInput) SplitPhaseStats() TaskStats { return TaskStats{} }
+
+func (f *fakeInput) Open(split Split, node hdfs.NodeID) (RecordReader, error) {
+	f.mu.Lock()
+	if f.opens == nil {
+		f.opens = make(map[hdfs.NodeID]int)
+	}
+	f.opens[node]++
+	f.mu.Unlock()
+	return &fakeReader{input: f, split: split, node: node}, nil
+}
+
+type fakeReader struct {
+	input *fakeInput
+	split Split
+	node  hdfs.NodeID
+}
+
+func (r *fakeReader) Read(fn func(Record)) (TaskStats, error) {
+	if r.input.failOnDead {
+		dn, err := r.input.cluster.DataNode(r.node)
+		if err != nil || !dn.Alive() {
+			return TaskStats{}, fmt.Errorf("node %d dead", r.node)
+		}
+	}
+	var stats TaskStats
+	for _, b := range r.split.Blocks {
+		stats.Blocks++
+		for _, rec := range r.input.records[b] {
+			stats.RecordsScanned++
+			stats.RecordsDelivered++
+			fn(rec)
+		}
+	}
+	return stats, nil
+}
+
+func buildFake(t *testing.T, nodes, blocks, recsPerBlock int) (*hdfs.Cluster, *fakeInput) {
+	t.Helper()
+	c, err := hdfs.NewCluster(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeInput{cluster: c, records: make(map[hdfs.BlockID][]Record)}
+	for b := 0; b < blocks; b++ {
+		id := hdfs.BlockID(b)
+		for i := 0; i < recsPerBlock; i++ {
+			f.records[id] = append(f.records[id], Record{Raw: fmt.Sprintf("b%d-r%d", b, i)})
+		}
+		f.splits = append(f.splits, Split{
+			Blocks:    []hdfs.BlockID{id},
+			Locations: []hdfs.NodeID{hdfs.NodeID(b % nodes), hdfs.NodeID((b + 1) % nodes)},
+		})
+	}
+	return c, f
+}
+
+func TestEngineMapOnly(t *testing.T) {
+	c, f := buildFake(t, 4, 10, 50)
+	e := &Engine{Cluster: c}
+	job := &Job{
+		Name:  "count",
+		Input: f,
+		Map: func(r Record, emit Emit) {
+			emit(r.Raw, "1")
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 500 {
+		t.Fatalf("output size = %d, want 500", len(res.Output))
+	}
+	if len(res.Tasks) != 10 {
+		t.Fatalf("tasks = %d, want 10", len(res.Tasks))
+	}
+	total := res.TotalStats()
+	if total.RecordsDelivered != 500 || total.Blocks != 10 {
+		t.Errorf("stats: %+v", total)
+	}
+	for _, task := range res.Tasks {
+		if task.Attempts != 1 {
+			t.Errorf("task %d took %d attempts", task.TaskID, task.Attempts)
+		}
+		if !task.Local {
+			t.Errorf("task %d not scheduled on a preferred location", task.TaskID)
+		}
+	}
+}
+
+func TestEngineReduce(t *testing.T) {
+	c, f := buildFake(t, 3, 6, 10)
+	e := &Engine{Cluster: c}
+	job := &Job{
+		Name:  "wordcount",
+		Input: f,
+		Map: func(r Record, emit Emit) {
+			// Key by block prefix: 6 groups of 10.
+			emit(r.Raw[:2], "1")
+		},
+		Reduce: func(key string, values []string, emit Emit) {
+			emit(key, strconv.Itoa(len(values)))
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 6 {
+		t.Fatalf("reduce output = %d groups, want 6", len(res.Output))
+	}
+	for _, kv := range res.Output {
+		if kv.Value != "10" {
+			t.Errorf("group %s = %s, want 10", kv.Key, kv.Value)
+		}
+	}
+	// Reduce output must be deterministic (sorted keys).
+	for i := 1; i < len(res.Output); i++ {
+		if res.Output[i-1].Key >= res.Output[i].Key {
+			t.Error("reduce output keys not sorted")
+		}
+	}
+}
+
+func TestEngineSchedulingBalance(t *testing.T) {
+	c, f := buildFake(t, 4, 40, 1)
+	e := &Engine{Cluster: c}
+	res, err := e.Run(&Job{Name: "bal", Input: f, Map: func(Record, Emit) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[hdfs.NodeID]int{}
+	for _, task := range res.Tasks {
+		counts[task.Node]++
+	}
+	for n, got := range counts {
+		if got < 5 || got > 15 {
+			t.Errorf("node %d ran %d tasks; want balanced around 10", n, got)
+		}
+	}
+}
+
+func TestEngineFailoverReassignsTasks(t *testing.T) {
+	c, f := buildFake(t, 4, 20, 5)
+	f.failOnDead = true
+	// Node 0 is dead before the job starts: all its preferred tasks must
+	// run elsewhere.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Cluster: c}
+	res, err := e.Run(&Job{Name: "fo", Input: f, Map: func(Record, Emit) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TotalStats().RecordsDelivered; got != 100 {
+		t.Errorf("records = %d, want all 100 despite failure", got)
+	}
+	for _, task := range res.Tasks {
+		if task.Node == 0 {
+			t.Errorf("task %d ran on dead node", task.TaskID)
+		}
+	}
+}
+
+func TestEngineMidJobKill(t *testing.T) {
+	c, f := buildFake(t, 4, 40, 5)
+	f.failOnDead = true
+	e := &Engine{Cluster: c, Parallelism: 2}
+	var once sync.Once
+	e.OnProgress = func(done, total int) {
+		if done >= total/2 {
+			once.Do(func() { c.KillNode(1) })
+		}
+	}
+	res, err := e.Run(&Job{Name: "kill50", Input: f, Map: func(Record, Emit) {}})
+	if err != nil {
+		t.Fatalf("job failed after mid-job kill: %v", err)
+	}
+	if got := res.TotalStats().RecordsDelivered; got != 200 {
+		t.Errorf("records = %d, want all 200", got)
+	}
+}
+
+func TestEngineRequiresMapFunc(t *testing.T) {
+	c, f := buildFake(t, 2, 1, 1)
+	e := &Engine{Cluster: c}
+	if _, err := e.Run(&Job{Name: "nomap", Input: f}); err == nil {
+		t.Error("job without map function ran")
+	}
+}
+
+func TestTaskStatsAdd(t *testing.T) {
+	a := TaskStats{Blocks: 1, BytesRead: 10, Seeks: 2, RecordsDelivered: 3, OutputBytes: 4}
+	b := TaskStats{Blocks: 2, BytesRead: 20, Seeks: 3, RecordsDelivered: 5, OutputBytes: 6}
+	a.Add(b)
+	if a.Blocks != 3 || a.BytesRead != 30 || a.Seeks != 5 || a.RecordsDelivered != 8 || a.OutputBytes != 10 {
+		t.Errorf("Add result: %+v", a)
+	}
+}
+
+func TestOutputBytesAccounted(t *testing.T) {
+	c, f := buildFake(t, 2, 2, 3)
+	e := &Engine{Cluster: c}
+	res, err := e.Run(&Job{Name: "out", Input: f, Map: func(r Record, emit Emit) {
+		emit("key", "value")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 records × ("key"+"value"+2) = 6 × 10.
+	if got := res.TotalStats().OutputBytes; got != 60 {
+		t.Errorf("OutputBytes = %d, want 60", got)
+	}
+}
+
+func TestDelaySchedulingKeepsLocality(t *testing.T) {
+	// All splits prefer node 0; DefaultScheduling spills to idle remote
+	// trackers, DelayScheduling waits for the local node.
+	c, err := hdfs.NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeInput{cluster: c, records: map[hdfs.BlockID][]Record{}}
+	for b := 0; b < 20; b++ {
+		id := hdfs.BlockID(b)
+		f.records[id] = []Record{{Raw: "x"}}
+		f.splits = append(f.splits, Split{
+			Blocks:    []hdfs.BlockID{id},
+			Locations: []hdfs.NodeID{0},
+		})
+	}
+	countLocal := func(policy SchedulingPolicy) int {
+		e := &Engine{Cluster: c, Scheduling: policy}
+		res, err := e.Run(&Job{Name: "loc", Input: f, Map: func(Record, Emit) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := 0
+		for _, task := range res.Tasks {
+			if task.Local {
+				local++
+			}
+		}
+		return local
+	}
+	def := countLocal(DefaultScheduling)
+	delay := countLocal(DelayScheduling)
+	if delay != 20 {
+		t.Errorf("delay scheduling achieved %d/20 local tasks, want 20", delay)
+	}
+	if def >= delay {
+		t.Errorf("default scheduling locality (%d) should be below delay scheduling's (%d)", def, delay)
+	}
+}
+
+func TestDefaultSchedulingBalancesLoad(t *testing.T) {
+	c, err := hdfs.NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeInput{cluster: c, records: map[hdfs.BlockID][]Record{}}
+	for b := 0; b < 40; b++ {
+		id := hdfs.BlockID(b)
+		f.records[id] = []Record{{Raw: "x"}}
+		f.splits = append(f.splits, Split{
+			Blocks:    []hdfs.BlockID{id},
+			Locations: []hdfs.NodeID{0}, // hot node
+		})
+	}
+	e := &Engine{Cluster: c, Scheduling: DefaultScheduling}
+	res, err := e.Run(&Job{Name: "bal", Input: f, Map: func(Record, Emit) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[hdfs.NodeID]int{}
+	for _, task := range res.Tasks {
+		counts[task.Node]++
+	}
+	if counts[0] == 40 {
+		t.Error("default scheduling never used idle trackers")
+	}
+	if len(counts) < 3 {
+		t.Errorf("tasks spread over %d trackers, want spillover", len(counts))
+	}
+}
+
+func TestCombinerShrinksMapOutput(t *testing.T) {
+	c, f := buildFake(t, 3, 6, 100)
+	sum := func(key string, values []string, emit Emit) {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+		emit(key, strconv.Itoa(total))
+	}
+	run := func(withCombiner bool) (*JobResult, error) {
+		e := &Engine{Cluster: c}
+		job := &Job{
+			Name:  "sum",
+			Input: f,
+			Map: func(r Record, emit Emit) {
+				emit("k", "1") // every record contributes 1 to one key
+			},
+			Reduce: sum,
+		}
+		if withCombiner {
+			job.Combine = sum
+		}
+		return e.Run(job)
+	}
+	plain, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same final result.
+	if len(plain.Output) != 1 || len(combined.Output) != 1 ||
+		plain.Output[0] != combined.Output[0] {
+		t.Fatalf("combiner changed the result: %v vs %v", plain.Output, combined.Output)
+	}
+	if combined.Output[0].Value != "600" {
+		t.Errorf("sum = %s, want 600", combined.Output[0].Value)
+	}
+	// Far less intermediate output with the combiner: one KV per task
+	// instead of one per record.
+	if combined.TotalStats().OutputBytes*10 >= plain.TotalStats().OutputBytes {
+		t.Errorf("combiner barely shrank output: %d vs %d bytes",
+			combined.TotalStats().OutputBytes, plain.TotalStats().OutputBytes)
+	}
+}

@@ -1,0 +1,47 @@
+package mapred
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// Typed accessors in the style of the paper's HailRecord (§4.1):
+//
+//	void map(Text key, HailRecord v) { output(v.getInt(1), null); }
+//
+// Positions are 1-based like the paper's @N references and index into the
+// *projected* attributes in projection order, so a job projecting {@8,@9}
+// reads them as GetInt(1)… GetInt(2) regardless of their positions in the
+// base schema. The accessors panic on type or position misuse, like their
+// Java counterparts would throw — map-function bugs should fail loudly.
+
+// NumAttrs returns the number of attributes delivered for the record.
+func (r Record) NumAttrs() int { return len(r.Row) }
+
+// attr resolves a 1-based projected-attribute reference.
+func (r Record) attr(pos int) schema.Value {
+	if pos < 1 || pos > len(r.Row) {
+		panic(fmt.Sprintf("mapred: attribute @%d out of range (record has %d)", pos, len(r.Row)))
+	}
+	return r.Row[pos-1]
+}
+
+// GetInt returns projected attribute pos (1-based) as int32.
+func (r Record) GetInt(pos int) int32 { return r.attr(pos).Int() }
+
+// GetLong returns projected attribute pos as int64.
+func (r Record) GetLong(pos int) int64 { return r.attr(pos).Long() }
+
+// GetFloat returns projected attribute pos as float64.
+func (r Record) GetFloat(pos int) float64 { return r.attr(pos).Float() }
+
+// GetString returns projected attribute pos as a string.
+func (r Record) GetString(pos int) string { return r.attr(pos).Str() }
+
+// GetDate returns projected attribute pos as days since the Unix epoch.
+func (r Record) GetDate(pos int) int32 { return r.attr(pos).Days() }
+
+// IsBad reports whether this is a bad record (§3.1); bad records carry
+// only Raw text. This is the paper's "flag to indicate bad records".
+func (r Record) IsBad() bool { return r.Bad }

@@ -1,0 +1,62 @@
+package mapred
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func testRecord() Record {
+	return Record{Row: schema.Row{
+		schema.StringVal("172.101.11.46"),
+		schema.IntVal(371),
+		schema.FloatVal(42.5),
+		schema.DateVal(schema.MustDate("1999-06-15")),
+		schema.LongVal(1 << 40),
+	}}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	r := testRecord()
+	if r.NumAttrs() != 5 {
+		t.Fatalf("NumAttrs = %d", r.NumAttrs())
+	}
+	if r.GetString(1) != "172.101.11.46" {
+		t.Errorf("GetString(1) = %q", r.GetString(1))
+	}
+	if r.GetInt(2) != 371 {
+		t.Errorf("GetInt(2) = %d", r.GetInt(2))
+	}
+	if r.GetFloat(3) != 42.5 {
+		t.Errorf("GetFloat(3) = %v", r.GetFloat(3))
+	}
+	if r.GetDate(4) != schema.MustDate("1999-06-15") {
+		t.Errorf("GetDate(4) = %d", r.GetDate(4))
+	}
+	if r.GetLong(5) != 1<<40 {
+		t.Errorf("GetLong(5) = %d", r.GetLong(5))
+	}
+	if r.IsBad() {
+		t.Error("good record flagged bad")
+	}
+	if !(Record{Bad: true, Raw: "x"}).IsBad() {
+		t.Error("bad record not flagged")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	r := testRecord()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	// Positions are 1-based like the paper's @N references.
+	mustPanic("position 0", func() { r.GetInt(0) })
+	mustPanic("position past end", func() { r.GetInt(6) })
+	mustPanic("type mismatch", func() { r.GetInt(1) }) // @1 is a string
+}

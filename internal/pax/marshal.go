@@ -1,0 +1,179 @@
+package pax
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Binary layout of a serialized PAX block ("Block Metadata" header followed
+// by the column data areas and the bad-record section):
+//
+//	magic     [4]byte  "PAXB"
+//	version   uint16   currently 1
+//	sortCol   int32    clustering attribute, -1 if unsorted
+//	numRows   uint32
+//	numBad    uint32
+//	schemaLen uint16, schema DDL (see schema.ParseSchema)
+//	colCount  uint16
+//	col dirs  colCount × {offset uint32, length uint32}
+//	bad dir   {offset uint32, length uint32}
+//	data      column areas in order, then the bad-record section
+//
+// A fixed-size column area is packed little-endian values. A variable-size
+// column area is a sparse offset list (one uint32 per PartitionSize rows,
+// relative to the start of the value bytes) followed by the zero-terminated
+// values. The bad-record section is a sequence of {len uint32, bytes}.
+const (
+	blockMagic   = "PAXB"
+	blockVersion = 1
+)
+
+// Marshal serializes the block.
+func (b *Block) Marshal() ([]byte, error) {
+	nRows := b.NumRows()
+	if nRows > math.MaxUint32 {
+		return nil, fmt.Errorf("pax: too many rows (%d)", nRows)
+	}
+	ddl := b.sch.String()
+	if len(ddl) > math.MaxUint16 {
+		return nil, fmt.Errorf("pax: schema too large")
+	}
+	nCols := len(b.cols)
+
+	headerLen := 4 + 2 + 4 + 4 + 4 + 2 + len(ddl) + 2 + nCols*8 + 8
+	colAreas := make([][]byte, nCols)
+	for i, c := range b.cols {
+		area, err := marshalColumn(c)
+		if err != nil {
+			return nil, fmt.Errorf("pax: column %d (%s): %v", i, b.sch.Field(i).Name, err)
+		}
+		colAreas[i] = area
+	}
+	badArea := marshalBad(b.bad)
+
+	total := headerLen
+	for _, a := range colAreas {
+		total += len(a)
+	}
+	total += len(badArea)
+	if total > math.MaxUint32 {
+		return nil, fmt.Errorf("pax: block too large (%d bytes)", total)
+	}
+
+	out := make([]byte, 0, total)
+	out = append(out, blockMagic...)
+	out = binary.LittleEndian.AppendUint16(out, blockVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(int32(b.sortCol)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(nRows))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.bad)))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(ddl)))
+	out = append(out, ddl...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(nCols))
+	off := headerLen
+	for _, a := range colAreas {
+		out = binary.LittleEndian.AppendUint32(out, uint32(off))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(a)))
+		off += len(a)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(off))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(badArea)))
+	for _, a := range colAreas {
+		out = append(out, a...)
+	}
+	out = append(out, badArea...)
+	return out, nil
+}
+
+func marshalColumn(c *column) ([]byte, error) {
+	switch c.typ {
+	case schema.Int32, schema.Date:
+		out := make([]byte, 0, 4*len(c.i32))
+		for _, v := range c.i32 {
+			out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		}
+		return out, nil
+	case schema.Int64:
+		out := make([]byte, 0, 8*len(c.i64))
+		for _, v := range c.i64 {
+			out = binary.LittleEndian.AppendUint64(out, uint64(v))
+		}
+		return out, nil
+	case schema.Float64:
+		out := make([]byte, 0, 8*len(c.f64))
+		for _, v := range c.f64 {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		return out, nil
+	case schema.String:
+		nParts := numPartitions(len(c.str))
+		valBytes := 0
+		for _, s := range c.str {
+			if strings.IndexByte(s, 0) >= 0 {
+				return nil, fmt.Errorf("string value contains NUL")
+			}
+			valBytes += len(s) + 1
+		}
+		out := make([]byte, 0, nParts*4+valBytes)
+		off := 0
+		for i, s := range c.str {
+			if i%PartitionSize == 0 {
+				out = binary.LittleEndian.AppendUint32(out, uint32(off))
+			}
+			off += len(s) + 1
+		}
+		for _, s := range c.str {
+			out = append(out, s...)
+			out = append(out, 0)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("invalid column type")
+}
+
+func marshalBad(bad []string) []byte {
+	sz := 0
+	for _, s := range bad {
+		sz += 4 + len(s)
+	}
+	out := make([]byte, 0, sz)
+	for _, s := range bad {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Unmarshal fully decodes a serialized block back into an in-memory Block.
+// The upload path uses this when a datanode reassembles a block from
+// packets; query-time access should prefer Reader, which touches only the
+// byte ranges a query needs.
+func Unmarshal(data []byte) (*Block, error) {
+	r, err := NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBlock(r.Schema())
+	b.sortCol = r.SortColumn()
+	n := r.NumRows()
+	for col := 0; col < r.Schema().NumFields(); col++ {
+		vals, err := r.ReadColumnRange(col, 0, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			b.cols[col].append(v)
+		}
+	}
+	for i := 0; i < r.NumBad(); i++ {
+		s, err := r.ReadBad(i)
+		if err != nil {
+			return nil, err
+		}
+		b.bad = append(b.bad, s)
+	}
+	return b, nil
+}

@@ -1,0 +1,111 @@
+package pax
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// Micro-benchmarks for the PAX block operations that sit on HAIL's upload
+// hot path: append, sort (with full-column permutation), serialization and
+// range reads. Run with -benchmem to see allocation behaviour.
+
+func benchBlock(n int) *Block {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBlock(testSchema)
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(testRow(rng)); err != nil {
+			panic(err)
+		}
+	}
+	return b
+}
+
+func BenchmarkAppendRow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]schema.Row, 1024)
+	for i := range rows {
+		rows[i] = testRow(rng)
+	}
+	b.ResetTimer()
+	blk := NewBlock(testSchema)
+	for i := 0; i < b.N; i++ {
+		if err := blk.AppendRow(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortBy(b *testing.B) {
+	// The per-replica in-memory sort of §3.5: "two or three seconds" for
+	// a 64 MB block on the paper's hardware.
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		blk := benchBlock(64 * 1024)
+		b.StartTimer()
+		if _, err := blk.SortBy(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	blk := benchBlock(32 * 1024)
+	data, err := blk.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	blk := benchBlock(32 * 1024)
+	data, err := blk.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFixedColumnRange(b *testing.B) {
+	blk := benchBlock(32 * 1024)
+	data, _ := blk.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadColumnRange(0, 1024, 9*1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadStringColumnRange(b *testing.B) {
+	blk := benchBlock(32 * 1024)
+	data, _ := blk.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadColumnRange(4, 1024, 9*1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

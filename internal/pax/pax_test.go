@@ -1,0 +1,510 @@
+package pax
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+var testSchema = schema.MustNew(
+	schema.Field{Name: "id", Type: schema.Int32},
+	schema.Field{Name: "big", Type: schema.Int64},
+	schema.Field{Name: "rev", Type: schema.Float64},
+	schema.Field{Name: "day", Type: schema.Date},
+	schema.Field{Name: "url", Type: schema.String},
+)
+
+func testRow(rng *rand.Rand) schema.Row {
+	urls := []string{"", "a", "example.com/page", "x/y/z?q=1", "long-url-with-many-characters/and/segments"}
+	return schema.Row{
+		schema.IntVal(rng.Int31n(1 << 20)),
+		schema.LongVal(rng.Int63n(1 << 40)),
+		schema.FloatVal(float64(rng.Intn(1000)) / 4),
+		schema.DateVal(rng.Int31n(20000)),
+		schema.StringVal(urls[rng.Intn(len(urls))]),
+	}
+}
+
+// buildBlock builds an n-row random block; testRow always matches
+// testSchema so append errors are programming bugs and panic.
+func buildBlock(_ *testing.T, n int, seed int64) *Block {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBlock(testSchema)
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(testRow(rng)); err != nil {
+			panic(err)
+		}
+	}
+	return b
+}
+
+func rowMultiset(rows []schema.Row) map[string]int {
+	m := make(map[string]int)
+	for _, r := range rows {
+		m[schema.RowKey(r)]++
+	}
+	return m
+}
+
+func sameMultiset(a, b []schema.Row) bool {
+	ma, mb := rowMultiset(a), rowMultiset(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	b := NewBlock(testSchema)
+	row := schema.Row{
+		schema.IntVal(7), schema.LongVal(8), schema.FloatVal(1.5),
+		schema.DateVal(schema.MustDate("1999-06-15")), schema.StringVal("u"),
+	}
+	if err := b.AppendRow(row); err != nil {
+		t.Fatalf("AppendRow: %v", err)
+	}
+	if b.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", b.NumRows())
+	}
+	if !b.Row(0).Equal(row) {
+		t.Errorf("Row(0) = %v, want %v", b.Row(0), row)
+	}
+	if b.Value(0, 0).Int() != 7 {
+		t.Errorf("Value(0,0) = %v", b.Value(0, 0))
+	}
+}
+
+func TestAppendRowValidation(t *testing.T) {
+	b := NewBlock(testSchema)
+	if err := b.AppendRow(schema.Row{schema.IntVal(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	bad := schema.Row{
+		schema.StringVal("not-an-int"), schema.LongVal(8), schema.FloatVal(1.5),
+		schema.DateVal(0), schema.StringVal("u"),
+	}
+	if err := b.AppendRow(bad); err == nil {
+		t.Error("type-mismatched row accepted")
+	}
+	if b.NumRows() != 0 {
+		t.Errorf("failed appends changed row count: %d", b.NumRows())
+	}
+}
+
+func TestSortByClustersRows(t *testing.T) {
+	b := buildBlock(t, 5000, 1)
+	before := b.Rows()
+	perm, err := b.SortBy(3) // day
+	if err != nil {
+		t.Fatalf("SortBy: %v", err)
+	}
+	if len(perm) != 5000 {
+		t.Fatalf("perm length = %d", len(perm))
+	}
+	if b.SortColumn() != 3 {
+		t.Errorf("SortColumn = %d", b.SortColumn())
+	}
+	for i := 1; i < b.NumRows(); i++ {
+		if b.Value(i-1, 3).Compare(b.Value(i, 3)) > 0 {
+			t.Fatalf("rows %d,%d out of order on sort column", i-1, i)
+		}
+	}
+	if !sameMultiset(before, b.Rows()) {
+		t.Error("SortBy changed the multiset of rows")
+	}
+	// Row integrity: applying perm to the original rows gives the sorted rows.
+	for i, p := range perm {
+		if !b.Row(i).Equal(before[p]) {
+			t.Fatalf("row %d does not match original row %d", i, p)
+		}
+	}
+}
+
+func TestSortByEveryColumnPreservesRows(t *testing.T) {
+	for col := 0; col < testSchema.NumFields(); col++ {
+		b := buildBlock(t, 1200, int64(col+10))
+		before := b.Rows()
+		if _, err := b.SortBy(col); err != nil {
+			t.Fatalf("SortBy(%d): %v", col, err)
+		}
+		for i := 1; i < b.NumRows(); i++ {
+			if b.Value(i-1, col).Compare(b.Value(i, col)) > 0 {
+				t.Fatalf("col %d: out of order at %d", col, i)
+			}
+		}
+		if !sameMultiset(before, b.Rows()) {
+			t.Fatalf("col %d: multiset changed", col)
+		}
+	}
+}
+
+func TestSortByOutOfRange(t *testing.T) {
+	b := buildBlock(t, 10, 2)
+	if _, err := b.SortBy(-1); err == nil {
+		t.Error("SortBy(-1) succeeded")
+	}
+	if _, err := b.SortBy(99); err == nil {
+		t.Error("SortBy(99) succeeded")
+	}
+}
+
+func TestAppendInvalidatesSortOrder(t *testing.T) {
+	b := buildBlock(t, 100, 3)
+	if _, err := b.SortBy(0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := b.AppendRow(testRow(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if b.SortColumn() != -1 {
+		t.Errorf("SortColumn after append = %d, want -1", b.SortColumn())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := buildBlock(t, 500, 5)
+	b.AppendBad("oops")
+	c := b.Clone()
+	if _, err := c.SortBy(1); err != nil {
+		t.Fatal(err)
+	}
+	if b.SortColumn() != -1 {
+		t.Error("sorting the clone changed the original's sort column")
+	}
+	if !sameMultiset(b.Rows(), c.Rows()) {
+		t.Error("clone has different rows")
+	}
+	if c.NumBad() != 1 || c.BadRecord(0) != "oops" {
+		t.Error("clone lost bad records")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	b := buildBlock(t, 3000, 6)
+	b.AppendBad("bad line 1")
+	b.AppendBad("")
+	b.AppendBad("another,malformed,record,with,fields")
+	if _, err := b.SortBy(4); err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.SortColumn() != 4 {
+		t.Errorf("SortColumn = %d, want 4", got.SortColumn())
+	}
+	if got.NumRows() != b.NumRows() || got.NumBad() != 3 {
+		t.Fatalf("rows/bad = %d/%d, want %d/3", got.NumRows(), got.NumBad(), b.NumRows())
+	}
+	for i := 0; i < b.NumRows(); i++ {
+		if !got.Row(i).Equal(b.Row(i)) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got.BadRecord(i) != b.BadRecord(i) {
+			t.Errorf("bad record %d = %q, want %q", i, got.BadRecord(i), b.BadRecord(i))
+		}
+	}
+}
+
+func TestMarshalEmptyBlock(t *testing.T) {
+	b := NewBlock(testSchema)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal empty: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal empty: %v", err)
+	}
+	if got.NumRows() != 0 || got.NumBad() != 0 {
+		t.Errorf("empty block round trip: rows=%d bad=%d", got.NumRows(), got.NumBad())
+	}
+}
+
+func TestMarshalRejectsNULStrings(t *testing.T) {
+	b := NewBlock(schema.MustNew(schema.Field{Name: "s", Type: schema.String}))
+	if err := b.AppendRow(schema.Row{schema.StringVal("a\x00b")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Marshal(); err == nil {
+		t.Error("Marshal accepted a string containing NUL")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nSmall uint8) bool {
+		n := int(nSmall) * 17 // 0 .. 4335, crosses partition boundaries scaled down
+		b := buildBlock(nil, n, seed)
+		if seed%2 == 0 && n > 0 {
+			if _, err := b.SortBy(int(uint(seed) % 5)); err != nil {
+				return false
+			}
+		}
+		data, err := b.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return sameMultiset(b.Rows(), got.Rows()) && got.SortColumn() == b.SortColumn()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderHeaderValidation(t *testing.T) {
+	b := buildBlock(t, 10, 7)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(data[:8]); err == nil {
+		t.Error("truncated block accepted")
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[0] = 'X'
+	if _, err := NewReader(corrupt); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(nil); err == nil {
+		t.Error("nil block accepted")
+	}
+}
+
+func TestReaderColumnRange(t *testing.T) {
+	b := buildBlock(t, 4000, 8)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []int{0, 1, 2, 3, 4} {
+		from, to := 1500, 2600
+		vals, err := r.ReadColumnRange(col, from, to)
+		if err != nil {
+			t.Fatalf("ReadColumnRange(%d): %v", col, err)
+		}
+		if len(vals) != to-from {
+			t.Fatalf("col %d: got %d values, want %d", col, len(vals), to-from)
+		}
+		for i, v := range vals {
+			if !v.Equal(b.Value(from+i, col)) {
+				t.Fatalf("col %d row %d: %v != %v", col, from+i, v, b.Value(from+i, col))
+			}
+		}
+	}
+}
+
+func TestReaderRangeBounds(t *testing.T) {
+	b := buildBlock(t, 100, 9)
+	data, _ := b.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadColumnRange(0, -1, 5); err == nil {
+		t.Error("negative fromRow accepted")
+	}
+	if _, err := r.ReadColumnRange(0, 5, 101); err == nil {
+		t.Error("toRow beyond rows accepted")
+	}
+	if _, err := r.ReadColumnRange(0, 7, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := r.ReadColumnRange(99, 0, 1); err == nil {
+		t.Error("bad column accepted")
+	}
+	if vals, err := r.ReadColumnRange(0, 5, 5); err != nil || vals != nil {
+		t.Errorf("empty range: %v, %v", vals, err)
+	}
+}
+
+func TestReaderIOAccounting(t *testing.T) {
+	b := buildBlock(t, 3000, 10)
+	data, _ := b.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed-size column: exact byte accounting, one seek.
+	if _, err := r.ReadColumnRange(0, 100, 300); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.BytesRead != 200*4 {
+		t.Errorf("BytesRead = %d, want 800", st.BytesRead)
+	}
+	if st.Seeks != 1 {
+		t.Errorf("Seeks = %d, want 1", st.Seeks)
+	}
+	// Adjacent follow-up read: no extra seek.
+	if _, err := r.ReadColumnRange(0, 300, 400); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Seeks; got != 1 {
+		t.Errorf("Seeks after adjacent read = %d, want 1", got)
+	}
+	// Distant read: one more seek.
+	if _, err := r.ReadColumnRange(1, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Seeks; got != 2 {
+		t.Errorf("Seeks after distant read = %d, want 2", got)
+	}
+	r.ResetStats()
+	if r.Stats() != (IOStats{}) {
+		t.Error("ResetStats did not clear stats")
+	}
+}
+
+func TestStringColumnPartitionGranularity(t *testing.T) {
+	// Reading one string row must read the whole covering partition, not
+	// just one value (paper §3.5: "we scan the partition entirely").
+	b := buildBlock(t, 3*PartitionSize, 11)
+	data, _ := b.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := r.ReadColumnRange(4, PartitionSize+5, PartitionSize+6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || !vals[0].Equal(b.Value(PartitionSize+5, 4)) {
+		t.Fatalf("wrong value: %v", vals)
+	}
+	st := r.Stats()
+	// Must have read at least a partition's worth of terminators.
+	if st.BytesRead < PartitionSize {
+		t.Errorf("BytesRead = %d, expected at least one partition (%d)", st.BytesRead, PartitionSize)
+	}
+}
+
+func TestColumnBytesMatchesSerialized(t *testing.T) {
+	b := buildBlock(t, 2500, 12)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 0; col < testSchema.NumFields(); col++ {
+		if b.ColumnBytes(col) != r.ColumnSize(col) {
+			t.Errorf("col %d: ColumnBytes=%d, serialized=%d", col, b.ColumnBytes(col), r.ColumnSize(col))
+		}
+	}
+}
+
+func TestReadBadRecords(t *testing.T) {
+	b := buildBlock(t, 50, 13)
+	want := []string{"first bad", "", "third,bad,record"}
+	for _, s := range want {
+		b.AppendBad(s)
+	}
+	data, _ := b.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAllBad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d bad records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bad[%d] = %q, want %q", i, got[i], want[i])
+		}
+		one, err := r.ReadBad(i)
+		if err != nil || one != want[i] {
+			t.Errorf("ReadBad(%d) = %q, %v", i, one, err)
+		}
+	}
+	if _, err := r.ReadBad(3); err == nil {
+		t.Error("ReadBad out of range succeeded")
+	}
+}
+
+func TestSortIsStable(t *testing.T) {
+	// Duplicate keys must preserve input order (stable sort), so replicas
+	// built from the same logical block agree on tie order.
+	s := schema.MustNew(
+		schema.Field{Name: "k", Type: schema.Int32},
+		schema.Field{Name: "seq", Type: schema.Int32},
+	)
+	b := NewBlock(s)
+	for i := 0; i < 1000; i++ {
+		if err := b.AppendRow(schema.Row{schema.IntVal(int32(i % 7)), schema.IntVal(int32(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.SortBy(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < b.NumRows(); i++ {
+		if b.Value(i-1, 0).Int() == b.Value(i, 0).Int() && b.Value(i-1, 1).Int() > b.Value(i, 1).Int() {
+			t.Fatalf("unstable sort at row %d", i)
+		}
+	}
+}
+
+func TestMarshalSizeIsReasonable(t *testing.T) {
+	b := buildBlock(t, 5000, 14)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := 5000 * (4 + 8 + 8 + 4)
+	if len(data) < fixed {
+		t.Errorf("serialized size %d smaller than fixed column payload %d", len(data), fixed)
+	}
+	sum := 0
+	for c := 0; c < testSchema.NumFields(); c++ {
+		sum += b.ColumnBytes(c)
+	}
+	if len(data) > sum+4096 {
+		t.Errorf("header overhead too large: total=%d, columns=%d", len(data), sum)
+	}
+}
+
+func TestSortedBlockBinarySearchable(t *testing.T) {
+	b := buildBlock(t, 4096, 15)
+	if _, err := b.SortBy(0); err != nil {
+		t.Fatal(err)
+	}
+	// sort.Search over the clustered column must find every present value.
+	n := b.NumRows()
+	for probe := 0; probe < 100; probe++ {
+		target := b.Value(probe*37%n, 0)
+		i := sort.Search(n, func(i int) bool { return b.Value(i, 0).Compare(target) >= 0 })
+		if i >= n || b.Value(i, 0).Compare(target) != 0 {
+			t.Fatalf("binary search missed value %v", target)
+		}
+	}
+}

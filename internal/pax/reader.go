@@ -1,0 +1,294 @@
+package pax
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/schema"
+)
+
+// IOStats records how much of a serialized block an access path touched.
+// The cluster simulator converts these counts into simulated disk time, so
+// the numbers must reflect what a disk-resident block would really cost:
+// every non-adjacent byte range costs one seek, and variable-size columns
+// are read at whole-partition granularity (paper §3.5).
+type IOStats struct {
+	BytesRead int64 // bytes transferred from the block
+	Seeks     int   // non-contiguous range starts
+}
+
+// Add accumulates other into s.
+func (s *IOStats) Add(other IOStats) {
+	s.BytesRead += other.BytesRead
+	s.Seeks += other.Seeks
+}
+
+// Reader provides random access to a serialized PAX block without decoding
+// the whole block, mirroring how the HailRecordReader reads only the
+// qualifying column ranges from disk. It tracks IOStats: consecutive reads
+// of adjacent ranges count as one seek.
+type Reader struct {
+	data    []byte
+	sch     *schema.Schema
+	sortCol int
+	numRows int
+	numBad  int
+	colOff  []int // absolute offset of each column area
+	colLen  []int
+	badOff  int
+	badLen  int
+
+	stats   IOStats
+	lastEnd int64 // end offset of the previous raw read, -1 initially
+}
+
+// NewReader parses the block header. It validates the directory against the
+// data length so that a corrupted or truncated block fails fast here rather
+// than during reads.
+func NewReader(data []byte) (*Reader, error) {
+	r := &Reader{data: data, lastEnd: -1}
+	if len(data) < 4+2+4+4+4+2 {
+		return nil, fmt.Errorf("pax: block too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != blockMagic {
+		return nil, fmt.Errorf("pax: bad magic %q", data[:4])
+	}
+	p := 4
+	version := binary.LittleEndian.Uint16(data[p:])
+	p += 2
+	if version != blockVersion {
+		return nil, fmt.Errorf("pax: unsupported version %d", version)
+	}
+	r.sortCol = int(int32(binary.LittleEndian.Uint32(data[p:])))
+	p += 4
+	r.numRows = int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	r.numBad = int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	schemaLen := int(binary.LittleEndian.Uint16(data[p:]))
+	p += 2
+	if p+schemaLen+2 > len(data) {
+		return nil, fmt.Errorf("pax: truncated schema")
+	}
+	sch, err := schema.ParseSchema(string(data[p : p+schemaLen]))
+	if err != nil {
+		return nil, err
+	}
+	r.sch = sch
+	p += schemaLen
+	nCols := int(binary.LittleEndian.Uint16(data[p:]))
+	p += 2
+	if nCols != sch.NumFields() {
+		return nil, fmt.Errorf("pax: directory has %d columns, schema has %d", nCols, sch.NumFields())
+	}
+	if p+nCols*8+8 > len(data) {
+		return nil, fmt.Errorf("pax: truncated column directory")
+	}
+	r.colOff = make([]int, nCols)
+	r.colLen = make([]int, nCols)
+	for i := 0; i < nCols; i++ {
+		r.colOff[i] = int(binary.LittleEndian.Uint32(data[p:]))
+		r.colLen[i] = int(binary.LittleEndian.Uint32(data[p+4:]))
+		p += 8
+		if r.colOff[i]+r.colLen[i] > len(data) {
+			return nil, fmt.Errorf("pax: column %d area out of bounds", i)
+		}
+	}
+	r.badOff = int(binary.LittleEndian.Uint32(data[p:]))
+	r.badLen = int(binary.LittleEndian.Uint32(data[p+4:]))
+	if r.badOff+r.badLen > len(data) {
+		return nil, fmt.Errorf("pax: bad-record area out of bounds")
+	}
+	if r.sortCol < -1 || r.sortCol >= nCols {
+		return nil, fmt.Errorf("pax: sort column %d out of range", r.sortCol)
+	}
+	return r, nil
+}
+
+// Schema returns the block schema parsed from the header.
+func (r *Reader) Schema() *schema.Schema { return r.sch }
+
+// NumRows returns the number of good rows.
+func (r *Reader) NumRows() int { return r.numRows }
+
+// NumBad returns the number of bad records.
+func (r *Reader) NumBad() int { return r.numBad }
+
+// SortColumn returns the clustering attribute, or -1.
+func (r *Reader) SortColumn() int { return r.sortCol }
+
+// BlockSize returns the total serialized size.
+func (r *Reader) BlockSize() int { return len(r.data) }
+
+// Stats returns the accumulated I/O accounting.
+func (r *Reader) Stats() IOStats { return r.stats }
+
+// ResetStats clears the I/O accounting.
+func (r *Reader) ResetStats() {
+	r.stats = IOStats{}
+	r.lastEnd = -1
+}
+
+// raw reads data[off:off+n], accounting for a seek when the range is not
+// adjacent to the previous read.
+func (r *Reader) raw(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(r.data) {
+		return nil, fmt.Errorf("pax: read [%d,%d) out of bounds", off, off+n)
+	}
+	if int64(off) != r.lastEnd {
+		r.stats.Seeks++
+	}
+	r.stats.BytesRead += int64(n)
+	r.lastEnd = int64(off + n)
+	return r.data[off : off+n], nil
+}
+
+// ReadColumnRange reads the values of attribute col for rows [fromRow,
+// toRow). For variable-size attributes it reads whole partitions covering
+// the range, as the on-disk format only records every PartitionSize-th
+// offset, but returns exactly the requested values.
+func (r *Reader) ReadColumnRange(col, fromRow, toRow int) ([]schema.Value, error) {
+	if col < 0 || col >= r.sch.NumFields() {
+		return nil, fmt.Errorf("pax: column %d out of range", col)
+	}
+	if fromRow < 0 || toRow > r.numRows || fromRow > toRow {
+		return nil, fmt.Errorf("pax: row range [%d,%d) out of bounds (rows=%d)", fromRow, toRow, r.numRows)
+	}
+	if fromRow == toRow {
+		return nil, nil
+	}
+	t := r.sch.Field(col).Type
+	if t.FixedSize() {
+		return r.readFixedRange(col, t, fromRow, toRow)
+	}
+	return r.readStringRange(col, fromRow, toRow)
+}
+
+func (r *Reader) readFixedRange(col int, t schema.Type, fromRow, toRow int) ([]schema.Value, error) {
+	w := t.Width()
+	raw, err := r.raw(r.colOff[col]+fromRow*w, (toRow-fromRow)*w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.Value, 0, toRow-fromRow)
+	for i := 0; i < toRow-fromRow; i++ {
+		switch t {
+		case schema.Int32:
+			out = append(out, schema.IntVal(int32(binary.LittleEndian.Uint32(raw[i*4:]))))
+		case schema.Date:
+			out = append(out, schema.DateVal(int32(binary.LittleEndian.Uint32(raw[i*4:]))))
+		case schema.Int64:
+			out = append(out, schema.LongVal(int64(binary.LittleEndian.Uint64(raw[i*8:]))))
+		case schema.Float64:
+			out = append(out, schema.FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))))
+		}
+	}
+	return out, nil
+}
+
+func (r *Reader) readStringRange(col, fromRow, toRow int) ([]schema.Value, error) {
+	nParts := numPartitions(r.numRows)
+	valBase := r.colOff[col] + nParts*4
+	valLen := r.colLen[col] - nParts*4
+	pFrom := fromRow / PartitionSize
+	pTo := (toRow - 1) / PartitionSize
+
+	// Read the needed slice of the sparse offset list. The list is tiny
+	// (4 bytes per 1,024 rows) and in practice cached in memory; it still
+	// counts as a read the first time.
+	offRaw, err := r.raw(r.colOff[col]+pFrom*4, (pTo-pFrom+1)*4)
+	if err != nil {
+		return nil, err
+	}
+	startOff := int(binary.LittleEndian.Uint32(offRaw[0:]))
+	// The byte span ends at the start of partition pTo+1, or at the end of
+	// the value area for the last partition. We read to the partition
+	// boundary and post-filter in memory (paper §3.5).
+	endOff := valLen
+	if (pTo+1)*PartitionSize < r.numRows {
+		tail, err := r.raw(r.colOff[col]+(pTo+1)*4, 4)
+		if err != nil {
+			return nil, err
+		}
+		endOff = int(binary.LittleEndian.Uint32(tail))
+	}
+	raw, err := r.raw(valBase+startOff, endOff-startOff)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]schema.Value, 0, toRow-fromRow)
+	row := pFrom * PartitionSize
+	pos := 0
+	for row < toRow {
+		z := indexByteFrom(raw, pos, 0)
+		if z < 0 {
+			return nil, fmt.Errorf("pax: unterminated string value in column %d", col)
+		}
+		if row >= fromRow {
+			out = append(out, schema.StringVal(string(raw[pos:z])))
+		}
+		pos = z + 1
+		row++
+	}
+	return out, nil
+}
+
+// ReadBad reads the i-th bad record. Bad records are delivered to the map
+// function flagged as such (paper §4.3).
+func (r *Reader) ReadBad(i int) (string, error) {
+	if i < 0 || i >= r.numBad {
+		return "", fmt.Errorf("pax: bad record %d out of range (have %d)", i, r.numBad)
+	}
+	// Walk the length-prefixed sequence. Bad records are few; jobs that
+	// touch them scan the whole section anyway.
+	p := r.badOff
+	for k := 0; ; k++ {
+		hdr, err := r.raw(p, 4)
+		if err != nil {
+			return "", err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr))
+		if k == i {
+			body, err := r.raw(p+4, n)
+			if err != nil {
+				return "", err
+			}
+			return string(body), nil
+		}
+		p += 4 + n
+	}
+}
+
+// ReadAllBad reads the whole bad-record section.
+func (r *Reader) ReadAllBad() ([]string, error) {
+	out := make([]string, 0, r.numBad)
+	p := r.badOff
+	for k := 0; k < r.numBad; k++ {
+		hdr, err := r.raw(p, 4)
+		if err != nil {
+			return nil, err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr))
+		body, err := r.raw(p+4, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, string(body))
+		p += 4 + n
+	}
+	return out, nil
+}
+
+// ColumnSize returns the serialized size of attribute col.
+func (r *Reader) ColumnSize(col int) int { return r.colLen[col] }
+
+func indexByteFrom(b []byte, from int, c byte) int {
+	for i := from; i < len(b); i++ {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,49 @@
+package query_test
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// Bob's first query from the paper (§4.1): filter a one-year visitDate
+// window, project sourceIP.
+func ExampleParseAnnotation() {
+	sch := schema.MustNew(
+		schema.Field{Name: "sourceIP", Type: schema.String},
+		schema.Field{Name: "destURL", Type: schema.String},
+		schema.Field{Name: "visitDate", Type: schema.Date},
+	)
+	q, err := query.ParseAnnotation(sch,
+		`@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("predicates:", len(q.Filter))
+	fmt.Println("filter column:", q.Filter[0].Column)
+	fmt.Println("projection:", q.Projection)
+
+	row := schema.Row{
+		schema.StringVal("10.0.0.1"),
+		schema.StringVal("http://x/"),
+		schema.DateVal(schema.MustDate("1999-06-15")),
+	}
+	fmt.Println("matches 1999-06-15:", q.MatchesRow(row))
+	// Output:
+	// predicates: 1
+	// filter column: 2
+	// projection: [0]
+	// matches 1999-06-15: true
+}
+
+func ExamplePredicate() {
+	p := query.Between(0, schema.IntVal(10), schema.IntVal(20))
+	fmt.Println(p.Matches(schema.IntVal(15)))
+	fmt.Println(p.Matches(schema.IntVal(21)))
+	fmt.Println(p)
+	// Output:
+	// true
+	// false
+	// @1 between(10,20)
+}

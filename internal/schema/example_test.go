@@ -1,0 +1,41 @@
+package schema_test
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// HAIL can suggest a schema from raw sample lines (§3.1 footnote).
+func ExampleInferSchema() {
+	lines := []string{
+		"172.101.11.46,1999-06-15,42.5,371",
+		"10.1.2.3,2001-01-01,0.1,9",
+	}
+	s, err := schema.InferSchema(lines, ',')
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output:
+	// attr1:string,attr2:date,attr3:float64,attr4:int32
+}
+
+func ExampleParser_ParseLine() {
+	s, _ := schema.ParseSchema("ip:string,day:date,rev:float64")
+	p := schema.NewParser(s)
+	row, err := p.ParseLine("10.0.0.1,1999-01-01,12.5")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(row[1].Days() == schema.MustDate("1999-01-01"))
+	fmt.Println(row.Line(','))
+
+	// A malformed line becomes a bad record at upload (§3.1).
+	_, err = p.ParseLine("not,enough")
+	fmt.Println(err != nil)
+	// Output:
+	// true
+	// 10.0.0.1,1999-01-01,12.5
+	// true
+}

@@ -1,0 +1,78 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// InferSchema suggests a schema from sample text lines, implementing the
+// paper's §3.1 footnote: "Alternatively, HAIL may suggest an appropriate
+// schema to users." For every field position it picks the most specific
+// type that all sampled values parse as, in the order
+// Int32 → Int64 → Float64 → Date → String.
+//
+// Lines whose field count differs from the majority are ignored (they
+// would become bad records at upload anyway). At least one parseable line
+// is required.
+func InferSchema(lines []string, sep byte) (*Schema, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("schema: cannot infer from no lines")
+	}
+	// Majority field count.
+	counts := make(map[int]int)
+	for _, l := range lines {
+		counts[strings.Count(l, string(sep))+1]++
+	}
+	nFields, best := 0, 0
+	for n, c := range counts {
+		if c > best || (c == best && n > nFields) {
+			nFields, best = n, c
+		}
+	}
+	if nFields == 0 {
+		return nil, fmt.Errorf("schema: no fields found")
+	}
+
+	// Candidate lattice per field, narrowed by every sampled value.
+	candidates := make([][]Type, nFields)
+	for i := range candidates {
+		candidates[i] = []Type{Int32, Int64, Float64, Date, String}
+	}
+	sampled := 0
+	for _, l := range lines {
+		fields := strings.Split(l, string(sep))
+		if len(fields) != nFields {
+			continue
+		}
+		sampled++
+		for i, f := range fields {
+			candidates[i] = narrow(candidates[i], f)
+		}
+	}
+	if sampled == 0 {
+		return nil, fmt.Errorf("schema: no line matches the majority field count %d", nFields)
+	}
+
+	out := make([]Field, nFields)
+	for i, cand := range candidates {
+		out[i] = Field{Name: "attr" + strconv.Itoa(i+1), Type: cand[0]}
+	}
+	return New(out...)
+}
+
+// narrow removes candidate types the value does not parse as. String
+// always remains.
+func narrow(cand []Type, value string) []Type {
+	out := cand[:0]
+	for _, t := range cand {
+		if t == String {
+			out = append(out, t)
+			continue
+		}
+		if _, err := ParseValue(t, value); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

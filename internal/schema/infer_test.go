@@ -1,0 +1,105 @@
+package schema
+
+import "testing"
+
+func TestInferSchemaBasic(t *testing.T) {
+	lines := []string{
+		"1,9999999999,3.5,1999-01-01,hello",
+		"2,-1,7,2000-06-15,world",
+		"3,0,0.25,1970-01-01,x",
+	}
+	s, err := InferSchema(lines, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Type{Int32, Int64, Float64, Date, String}
+	if s.NumFields() != len(want) {
+		t.Fatalf("fields = %d", s.NumFields())
+	}
+	for i, typ := range want {
+		if s.Field(i).Type != typ {
+			t.Errorf("field %d = %s, want %s", i, s.Field(i).Type, typ)
+		}
+	}
+}
+
+func TestInferSchemaNarrowing(t *testing.T) {
+	// A column that starts int-like but contains a float must widen, and
+	// one with any non-numeric value must become String.
+	lines := []string{
+		"1,2,3",
+		"4,5.5,six",
+	}
+	s, err := InferSchema(lines, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Field(0).Type != Int32 || s.Field(1).Type != Float64 || s.Field(2).Type != String {
+		t.Errorf("types = %s,%s,%s", s.Field(0).Type, s.Field(1).Type, s.Field(2).Type)
+	}
+}
+
+func TestInferSchemaIgnoresMinorityLines(t *testing.T) {
+	lines := []string{
+		"1,a", "2,b", "3,c",
+		"malformed line without separator count match,x,y,z",
+	}
+	s, err := InferSchema(lines, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFields() != 2 {
+		t.Fatalf("fields = %d, want 2 (majority)", s.NumFields())
+	}
+}
+
+func TestInferSchemaInt64VsInt32(t *testing.T) {
+	s, err := InferSchema([]string{"2147483648", "5"}, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Field(0).Type != Int64 {
+		t.Errorf("type = %s, want int64 (value exceeds int32)", s.Field(0).Type)
+	}
+}
+
+func TestInferSchemaDates(t *testing.T) {
+	s, err := InferSchema([]string{"1999-01-01", "2011-12-31"}, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Field(0).Type != Date {
+		t.Errorf("type = %s, want date", s.Field(0).Type)
+	}
+	// Date-like then not: widens to String.
+	s2, err := InferSchema([]string{"1999-01-01", "yesterday"}, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Field(0).Type != String {
+		t.Errorf("type = %s, want string", s2.Field(0).Type)
+	}
+}
+
+func TestInferSchemaErrors(t *testing.T) {
+	if _, err := InferSchema(nil, ','); err == nil {
+		t.Error("inferred from no lines")
+	}
+}
+
+func TestInferredSchemaParsesItsSample(t *testing.T) {
+	lines := []string{
+		"172.101.11.46,1999-06-15,12.5,371",
+		"10.0.0.1,2001-01-01,0.1,1",
+	}
+	s, err := InferSchema(lines, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParser(s)
+	for _, l := range lines {
+		if _, err := p.ParseLine(l); err != nil {
+			t.Errorf("inferred schema rejects its own sample %q: %v", l, err)
+		}
+	}
+}

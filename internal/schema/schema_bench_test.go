@@ -1,0 +1,44 @@
+package schema
+
+import "testing"
+
+// Parsing text rows to typed binary is the HAIL client's main CPU cost at
+// upload (§3.1); the sim package's ParseMBps constant abstracts this rate.
+func BenchmarkParseLine(b *testing.B) {
+	s := MustNew(
+		Field{"sourceIP", String}, Field{"destURL", String}, Field{"visitDate", Date},
+		Field{"adRevenue", Float64}, Field{"userAgent", String}, Field{"countryCode", String},
+		Field{"languageCode", String}, Field{"searchWord", String}, Field{"duration", Int32},
+	)
+	p := NewParser(s)
+	const line = "172.101.11.46,http://index.example.com/DEU/page-4711,1999-06-15,42.5,Mozilla/5.0 (X11; Linux x86_64),DEU,de-DE,elephant,371"
+	b.SetBytes(int64(len(line)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ParseLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueCompare(b *testing.B) {
+	x, y := StringVal("alpha"), StringVal("alphb")
+	for i := 0; i < b.N; i++ {
+		if x.Compare(y) >= 0 {
+			b.Fatal("bad compare")
+		}
+	}
+}
+
+func BenchmarkRowLine(b *testing.B) {
+	s := MustNew(Field{"a", Int32}, Field{"b", Float64}, Field{"c", String}, Field{"d", Date})
+	p := NewParser(s)
+	row, err := p.ParseLine("42,3.5,hello,1999-01-01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = row.Line(',')
+	}
+}

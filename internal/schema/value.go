@@ -1,0 +1,185 @@
+package schema
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Value is one typed attribute value. The zero Value is the Int32 value 0;
+// use the constructors to build values of other types.
+type Value struct {
+	typ Type
+	num int64   // Int32, Int64, Date (days since epoch)
+	f   float64 // Float64
+	s   string  // String
+}
+
+// IntVal returns an Int32 value.
+func IntVal(v int32) Value { return Value{typ: Int32, num: int64(v)} }
+
+// LongVal returns an Int64 value.
+func LongVal(v int64) Value { return Value{typ: Int64, num: v} }
+
+// FloatVal returns a Float64 value.
+func FloatVal(v float64) Value { return Value{typ: Float64, f: v} }
+
+// DateVal returns a Date value from days since the Unix epoch.
+func DateVal(days int32) Value { return Value{typ: Date, num: int64(days)} }
+
+// StringVal returns a String value.
+func StringVal(v string) Value { return Value{typ: String, s: v} }
+
+// Type returns the type of the value.
+func (v Value) Type() Type { return v.typ }
+
+// Int returns the value as int32. It panics if the type is not Int32/Date.
+func (v Value) Int() int32 {
+	if v.typ != Int32 && v.typ != Date {
+		panic(fmt.Sprintf("schema: Int() on %s value", v.typ))
+	}
+	return int32(v.num)
+}
+
+// Long returns the value as int64 for any integer-backed type.
+func (v Value) Long() int64 {
+	switch v.typ {
+	case Int32, Int64, Date:
+		return v.num
+	}
+	panic(fmt.Sprintf("schema: Long() on %s value", v.typ))
+}
+
+// Float returns the Float64 value.
+func (v Value) Float() float64 {
+	if v.typ != Float64 {
+		panic(fmt.Sprintf("schema: Float() on %s value", v.typ))
+	}
+	return v.f
+}
+
+// Str returns the String value.
+func (v Value) Str() string {
+	if v.typ != String {
+		panic(fmt.Sprintf("schema: Str() on %s value", v.typ))
+	}
+	return v.s
+}
+
+// Days returns the Date value as days since the Unix epoch.
+func (v Value) Days() int32 {
+	if v.typ != Date {
+		panic(fmt.Sprintf("schema: Days() on %s value", v.typ))
+	}
+	return int32(v.num)
+}
+
+// String renders the value in the same textual form ParseValue accepts.
+func (v Value) String() string {
+	switch v.typ {
+	case Int32, Int64:
+		return strconv.FormatInt(v.num, 10)
+	case Float64:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Date:
+		return FormatDate(int32(v.num))
+	case String:
+		return v.s
+	default:
+		return "<invalid>"
+	}
+}
+
+// Compare orders v against o; both must have the same type. It returns a
+// negative number, zero, or a positive number as v is less than, equal to,
+// or greater than o.
+func (v Value) Compare(o Value) int {
+	if v.typ != o.typ {
+		panic(fmt.Sprintf("schema: comparing %s against %s", v.typ, o.typ))
+	}
+	switch v.typ {
+	case Int32, Int64, Date:
+		switch {
+		case v.num < o.num:
+			return -1
+		case v.num > o.num:
+			return 1
+		}
+		return 0
+	case Float64:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+		return 0
+	case String:
+		return strings.Compare(v.s, o.s)
+	default:
+		panic("schema: comparing invalid values")
+	}
+}
+
+// Equal reports whether v and o are the same typed value.
+func (v Value) Equal(o Value) bool { return v.typ == o.typ && v.Compare(o) == 0 }
+
+// ParseValue parses the textual representation of a value of type t.
+// Float parsing rejects NaN so that sort orders are total.
+func ParseValue(t Type, s string) (Value, error) {
+	switch t {
+	case Int32:
+		n, err := strconv.ParseInt(s, 10, 32)
+		if err != nil {
+			return Value{}, fmt.Errorf("schema: bad int32 %q: %v", s, err)
+		}
+		return IntVal(int32(n)), nil
+	case Int64:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("schema: bad int64 %q: %v", s, err)
+		}
+		return LongVal(n), nil
+	case Float64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(f) {
+			return Value{}, fmt.Errorf("schema: bad float64 %q", s)
+		}
+		return FloatVal(f), nil
+	case Date:
+		d, err := ParseDate(s)
+		if err != nil {
+			return Value{}, err
+		}
+		return DateVal(d), nil
+	case String:
+		return StringVal(s), nil
+	default:
+		return Value{}, fmt.Errorf("schema: cannot parse value of invalid type")
+	}
+}
+
+// ParseDate parses a YYYY-MM-DD date into days since the Unix epoch.
+func ParseDate(s string) (int32, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("schema: bad date %q: %v", s, err)
+	}
+	return int32(t.Unix() / 86400), nil
+}
+
+// FormatDate renders days since the Unix epoch as YYYY-MM-DD.
+func FormatDate(days int32) string {
+	return time.Unix(int64(days)*86400, 0).UTC().Format("2006-01-02")
+}
+
+// MustDate is ParseDate for statically known dates; it panics on error.
+func MustDate(s string) int32 {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,63 @@
+package trojan
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func BenchmarkMarshalBlock(b *testing.B) {
+	rows := randRows(32*1024, 1)
+	sortRows(rows, 0)
+	data, err := MarshalBlock(sch, rows, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalBlock(sch, rows, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupRange(b *testing.B) {
+	rows := randRows(32*1024, 2)
+	sortRows(rows, 0)
+	data, _ := MarshalBlock(sch, rows, 0)
+	r, err := NewBlockReader(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := schema.IntVal(1000), schema.IntVal(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := r.LookupRange(&lo, &hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanRange(b *testing.B) {
+	rows := randRows(32*1024, 3)
+	data, _ := MarshalBlock(sch, rows, -1)
+	r, err := NewBlockReader(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(r.RowAreaBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := r.ScanRange(0, 0, r.NumRows(), func(int, schema.Row) error {
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != 32*1024 {
+			b.Fatalf("scanned %d rows", n)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// SynNumAttrs is the Synthetic dataset's attribute count (§6.2: "19
+// integer attributes ... similar to scientific datasets").
+const SynNumAttrs = 19
+
+// synFilterMax bounds attr1, the filter attribute of all Syn queries:
+// uniform in [0, 1000), so [0,99] selects 10% and [0,9] selects 1%.
+const synFilterMax = 1000
+
+// synValueMax bounds the remaining attributes. Uniform in [0, 1e7) gives
+// ~6.9 text digits per value, putting the binary PAX size at ~51% of the
+// text size — the ratio behind HAIL's Figure 4(b) upload win (the paper's
+// storage numbers in §6.3.2 imply binary ≈ 0.54 × text).
+const synValueMax = 10000000
+
+var syntheticSchema = buildSyntheticSchema()
+
+func buildSyntheticSchema() *schema.Schema {
+	fields := make([]schema.Field, SynNumAttrs)
+	for i := range fields {
+		fields[i] = schema.Field{Name: "attr" + strconv.Itoa(i+1), Type: schema.Int32}
+	}
+	return schema.MustNew(fields...)
+}
+
+// SyntheticSchema returns the 19×int32 schema.
+func SyntheticSchema() *schema.Schema { return syntheticSchema }
+
+// GenerateSynthetic produces n delimited text lines of Synthetic data.
+func GenerateSynthetic(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	lines := make([]string, 0, n)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.Reset()
+		b.WriteString(strconv.Itoa(rng.Intn(synFilterMax)))
+		for a := 1; a < SynNumAttrs; a++ {
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(rng.Intn(synValueMax)))
+		}
+		lines = append(lines, b.String())
+	}
+	return lines
+}
