@@ -19,11 +19,26 @@ import (
 )
 
 var (
-	benchRunner    = experiments.NewRunner()
-	benchFigures   = map[string]*experiments.Figure{}
-	benchFiguresMu sync.Mutex
-	benchPrintOnce sync.Map
+	benchRunnerOnce sync.Once
+	benchRunnerVal  *experiments.Runner
+	benchFigures    = map[string]*experiments.Figure{}
+	benchFiguresMu  sync.Mutex
+	benchPrintOnce  sync.Map
 )
+
+// benchRunner returns the shared runner: full fidelity by default, quick
+// fixtures under -short so the CI benchmark smoke lane (-benchtime=1x
+// -short) stays fast while exercising the same code paths.
+func benchRunner() *experiments.Runner {
+	benchRunnerOnce.Do(func() {
+		if testing.Short() {
+			benchRunnerVal = experiments.NewQuickRunner()
+		} else {
+			benchRunnerVal = experiments.NewRunner()
+		}
+	})
+	return benchRunnerVal
+}
 
 // figure computes (once) and returns the named figure.
 func figure(b *testing.B, id string, run func() (*experiments.Figure, error)) *experiments.Figure {
@@ -78,7 +93,7 @@ func benchFigure(b *testing.B, id string, run func() (*experiments.Figure, error
 // --- Figure 4: upload times ---
 
 func BenchmarkFig4aUploadUserVisits(b *testing.B) {
-	benchFigure(b, "Fig4a", benchRunner.Fig4a, func(f *experiments.Figure) {
+	benchFigure(b, "Fig4a", benchRunner().Fig4a, func(f *experiments.Figure) {
 		metric(b, f, "Hadoop", "0 idx", "hadoop_s")
 		metric(b, f, "HAIL", "3 idx", "hail3idx_s")
 		metric(b, f, "Hadoop++", "1 idx", "hadooppp1idx_s")
@@ -86,14 +101,14 @@ func BenchmarkFig4aUploadUserVisits(b *testing.B) {
 }
 
 func BenchmarkFig4bUploadSynthetic(b *testing.B) {
-	benchFigure(b, "Fig4b", benchRunner.Fig4b, func(f *experiments.Figure) {
+	benchFigure(b, "Fig4b", benchRunner().Fig4b, func(f *experiments.Figure) {
 		metric(b, f, "Hadoop", "0 idx", "hadoop_s")
 		metric(b, f, "HAIL", "3 idx", "hail3idx_s")
 	})
 }
 
 func BenchmarkFig4cReplication(b *testing.B) {
-	benchFigure(b, "Fig4c", benchRunner.Fig4c, func(f *experiments.Figure) {
+	benchFigure(b, "Fig4c", benchRunner().Fig4c, func(f *experiments.Figure) {
 		metric(b, f, "Hadoop", "r=3", "hadoop_r3_s")
 		metric(b, f, "HAIL", "r=6", "hail_r6_s")
 	})
@@ -102,14 +117,14 @@ func BenchmarkFig4cReplication(b *testing.B) {
 // --- Table 2: scale-up ---
 
 func BenchmarkTable2aScaleUpUserVisits(b *testing.B) {
-	benchFigure(b, "Table2a", benchRunner.Table2a, func(f *experiments.Figure) {
+	benchFigure(b, "Table2a", benchRunner().Table2a, func(f *experiments.Figure) {
 		metric(b, f, "SystemSpeedup", "m1.large", "speedup_large")
 		metric(b, f, "SystemSpeedup", "physical", "speedup_physical")
 	})
 }
 
 func BenchmarkTable2bScaleUpSynthetic(b *testing.B) {
-	benchFigure(b, "Table2b", benchRunner.Table2b, func(f *experiments.Figure) {
+	benchFigure(b, "Table2b", benchRunner().Table2b, func(f *experiments.Figure) {
 		metric(b, f, "SystemSpeedup", "m1.large", "speedup_large")
 		metric(b, f, "SystemSpeedup", "physical", "speedup_physical")
 	})
@@ -118,7 +133,7 @@ func BenchmarkTable2bScaleUpSynthetic(b *testing.B) {
 // --- Figure 5: scale-out ---
 
 func BenchmarkFig5ScaleOut(b *testing.B) {
-	benchFigure(b, "Fig5", benchRunner.Fig5, func(f *experiments.Figure) {
+	benchFigure(b, "Fig5", benchRunner().Fig5, func(f *experiments.Figure) {
 		metric(b, f, "HAIL Syn", "100 nodes", "hail_syn_100_s")
 		metric(b, f, "Hadoop Syn", "100 nodes", "hadoop_syn_100_s")
 	})
@@ -127,21 +142,21 @@ func BenchmarkFig5ScaleOut(b *testing.B) {
 // --- Figure 6: Bob's workload without HailSplitting ---
 
 func BenchmarkFig6aBobJobRuntimes(b *testing.B) {
-	benchFigure(b, "Fig6a", benchRunner.Fig6a, func(f *experiments.Figure) {
+	benchFigure(b, "Fig6a", benchRunner().Fig6a, func(f *experiments.Figure) {
 		metric(b, f, "Hadoop", "Bob-Q1", "hadoop_q1_s")
 		metric(b, f, "HAIL", "Bob-Q1", "hail_q1_s")
 	})
 }
 
 func BenchmarkFig6bBobRecordReader(b *testing.B) {
-	benchFigure(b, "Fig6b", benchRunner.Fig6b, func(f *experiments.Figure) {
+	benchFigure(b, "Fig6b", benchRunner().Fig6b, func(f *experiments.Figure) {
 		metric(b, f, "Hadoop", "Bob-Q1", "hadoop_q1_ms")
 		metric(b, f, "HAIL", "Bob-Q1", "hail_q1_ms")
 	})
 }
 
 func BenchmarkFig6cOverhead(b *testing.B) {
-	benchFigure(b, "Fig6c", benchRunner.Fig6c, func(f *experiments.Figure) {
+	benchFigure(b, "Fig6c", benchRunner().Fig6c, func(f *experiments.Figure) {
 		metric(b, f, "HAIL", "Bob-Q1", "hail_q1_overhead_s")
 	})
 }
@@ -149,21 +164,21 @@ func BenchmarkFig6cOverhead(b *testing.B) {
 // --- Figure 7: Synthetic workload without HailSplitting ---
 
 func BenchmarkFig7aSynJobRuntimes(b *testing.B) {
-	benchFigure(b, "Fig7a", benchRunner.Fig7a, func(f *experiments.Figure) {
+	benchFigure(b, "Fig7a", benchRunner().Fig7a, func(f *experiments.Figure) {
 		metric(b, f, "Hadoop", "Syn-Q1a", "hadoop_q1a_s")
 		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_s")
 	})
 }
 
 func BenchmarkFig7bSynRecordReader(b *testing.B) {
-	benchFigure(b, "Fig7b", benchRunner.Fig7b, func(f *experiments.Figure) {
+	benchFigure(b, "Fig7b", benchRunner().Fig7b, func(f *experiments.Figure) {
 		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_ms")
 		metric(b, f, "HAIL", "Syn-Q2c", "hail_q2c_ms")
 	})
 }
 
 func BenchmarkFig7cSynOverhead(b *testing.B) {
-	benchFigure(b, "Fig7c", benchRunner.Fig7c, func(f *experiments.Figure) {
+	benchFigure(b, "Fig7c", benchRunner().Fig7c, func(f *experiments.Figure) {
 		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_overhead_s")
 	})
 }
@@ -171,7 +186,7 @@ func BenchmarkFig7cSynOverhead(b *testing.B) {
 // --- Figure 8: fault tolerance ---
 
 func BenchmarkFig8FaultTolerance(b *testing.B) {
-	benchFigure(b, "Fig8", benchRunner.Fig8, func(f *experiments.Figure) {
+	benchFigure(b, "Fig8", benchRunner().Fig8, func(f *experiments.Figure) {
 		metric(b, f, "Slowdown %", "Hadoop", "hadoop_slowdown_pct")
 		metric(b, f, "Slowdown %", "HAIL", "hail_slowdown_pct")
 		metric(b, f, "Slowdown %", "HAIL-1Idx", "hail1idx_slowdown_pct")
@@ -181,7 +196,7 @@ func BenchmarkFig8FaultTolerance(b *testing.B) {
 // --- Figure 9: HailSplitting ---
 
 func BenchmarkFig9aBobWithSplitting(b *testing.B) {
-	benchFigure(b, "Fig9a", benchRunner.Fig9a, func(f *experiments.Figure) {
+	benchFigure(b, "Fig9a", benchRunner().Fig9a, func(f *experiments.Figure) {
 		metric(b, f, "HAIL", "Bob-Q2", "hail_q2_s")
 		// The paper's headline: up to 68× over Hadoop.
 		var hadoop, hail float64
@@ -204,14 +219,14 @@ func BenchmarkFig9aBobWithSplitting(b *testing.B) {
 }
 
 func BenchmarkFig9bSynWithSplitting(b *testing.B) {
-	benchFigure(b, "Fig9b", benchRunner.Fig9b, func(f *experiments.Figure) {
+	benchFigure(b, "Fig9b", benchRunner().Fig9b, func(f *experiments.Figure) {
 		metric(b, f, "HAIL", "Syn-Q1a", "hail_q1a_s")
 		metric(b, f, "HAIL", "Syn-Q2c", "hail_q2c_s")
 	})
 }
 
 func BenchmarkFig9cTotalWorkload(b *testing.B) {
-	benchFigure(b, "Fig9c", benchRunner.Fig9c, func(f *experiments.Figure) {
+	benchFigure(b, "Fig9c", benchRunner().Fig9c, func(f *experiments.Figure) {
 		var hadoopBob, hailBob, hadoopSyn, hailSyn float64
 		for _, s := range f.Series {
 			for _, p := range s.Points {
@@ -239,7 +254,7 @@ func BenchmarkFig9cTotalWorkload(b *testing.B) {
 // --- Ablations (DESIGN.md §5) ---
 
 func BenchmarkAblationUnclusteredIndex(b *testing.B) {
-	benchFigure(b, "AblationUnclustered", benchRunner.AblationUnclusteredIndex,
+	benchFigure(b, "AblationUnclustered", benchRunner().AblationUnclusteredIndex,
 		func(f *experiments.Figure) {
 			metric(b, f, "clustered", "sel=0.031", "clustered_s")
 			metric(b, f, "unclustered", "sel=0.031", "unclustered_s")
@@ -248,7 +263,7 @@ func BenchmarkAblationUnclusteredIndex(b *testing.B) {
 
 func BenchmarkAblationMultiLevelIndex(b *testing.B) {
 	benchFigure(b, "AblationMultiLevel", func() (*experiments.Figure, error) {
-		return benchRunner.AblationMultiLevelIndex(), nil
+		return benchRunner().AblationMultiLevelIndex(), nil
 	}, func(f *experiments.Figure) {
 		metric(b, f, "single-level", "0.064GB", "single_64mb_s")
 		metric(b, f, "multi-level", "0.064GB", "multi_64mb_s")
@@ -256,7 +271,7 @@ func BenchmarkAblationMultiLevelIndex(b *testing.B) {
 }
 
 func BenchmarkAblationSplitting(b *testing.B) {
-	benchFigure(b, "AblationSplitting", benchRunner.AblationSplitting,
+	benchFigure(b, "AblationSplitting", benchRunner().AblationSplitting,
 		func(f *experiments.Figure) {
 			metric(b, f, "splitting off", "Bob-Q2", "off_q2_s")
 			metric(b, f, "splitting on", "Bob-Q2", "on_q2_s")
@@ -264,17 +279,33 @@ func BenchmarkAblationSplitting(b *testing.B) {
 }
 
 func BenchmarkAblationLayout(b *testing.B) {
-	benchFigure(b, "AblationLayout", benchRunner.AblationLayout,
+	benchFigure(b, "AblationLayout", benchRunner().AblationLayout,
 		func(f *experiments.Figure) {
 			metric(b, f, "PAX (HAIL)", "Syn-Q1c", "pax_q1c_ms")
 			metric(b, f, "row (Hadoop++)", "Syn-Q1c", "row_q1c_ms")
 		})
 }
 
+// --- Adaptive indexing (LIAH-style evolving workload) ---
+
+func BenchmarkFigAdaptive(b *testing.B) {
+	benchFigure(b, "FigAdaptive", func() (*experiments.Figure, error) {
+		rep, err := benchRunner().ExpAdaptive(experiments.UserVisits, 6, 0.25)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Figure(), nil
+	}, func(f *experiments.Figure) {
+		metric(b, f, "runtime [s]", "job1", "job1_s")
+		metric(b, f, "runtime [s]", "job6", "job6_s")
+		metric(b, f, "idx splits [%]", "job6", "job6_idx_pct")
+	})
+}
+
 // --- Related work (§5): full-text indexing comparison ---
 
 func BenchmarkSection5FullTextComparison(b *testing.B) {
-	benchFigure(b, "Section5FullText", benchRunner.Section5FullText,
+	benchFigure(b, "Section5FullText", benchRunner().Section5FullText,
 		func(f *experiments.Figure) {
 			metric(b, f, "full-text [15]", "20GB index only", "fulltext_20gb_s")
 			metric(b, f, "HAIL", "200GB upload+index", "hail_200gb_s")

@@ -1,34 +1,94 @@
-// Command hailbench regenerates the paper's tables and figures.
+// Command hailbench regenerates the paper's tables and figures, plus the
+// adaptive-indexing trajectory experiment.
 //
 // Usage:
 //
 //	hailbench [-quick] [-only Fig4a,Fig6a,...]
+//	hailbench [-quick] -adaptive [-offer-rate 0.25] [-jobs 8] [-workload Synthetic]
 //
-// With no flags it runs every experiment at full fidelity (~64 partitions
-// per block), printing each figure as an aligned table of simulated
-// seconds. -quick uses small fixtures (coarser index granularity, same
-// code paths). -only restricts to a comma-separated list of experiment
-// IDs.
+// With no flags it runs every paper experiment at full fidelity (~64
+// partitions per block), printing each figure as an aligned table of
+// simulated seconds. -quick uses small fixtures (coarser index
+// granularity, same code paths). -only restricts to a comma-separated
+// list of experiment IDs.
+//
+// -adaptive instead runs a sequence of identical jobs filtering on an
+// attribute no replica is indexed on: the adaptive indexer converts a
+// bounded fraction (-offer-rate) of the remaining unindexed blocks during
+// each job, so job 1 pays a small penalty and jobs 2..k speed up until
+// every block is index-scanned.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/experiments"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "use small fixtures (faster, coarser index granularity)")
-	only := flag.String("only", "", "comma-separated experiment IDs (e.g. Fig4a,Fig6a)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hailbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "use small fixtures (faster, coarser index granularity)")
+	only := fs.String("only", "", "comma-separated experiment IDs (e.g. Fig4a,Fig6a)")
+	adaptiveMode := fs.Bool("adaptive", false, "run the adaptive-indexing experiment")
+	offerRate := fs.Float64("offer-rate", 0.25, "adaptive: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
+	jobs := fs.Int("jobs", 8, "adaptive: number of identical jobs in the sequence")
+	workloadName := fs.String("workload", "UserVisits", "adaptive: workload (UserVisits or Synthetic)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		// The flag package already printed the diagnostic and usage.
+		return errUsage
+	}
 
 	r := experiments.NewRunner()
 	if *quick {
 		r = experiments.NewQuickRunner()
+	}
+
+	// The adaptive experiment and the paper-figure list are separate
+	// modes; reject combinations that would silently ignore a flag.
+	if *adaptiveMode && *only != "" {
+		return fmt.Errorf("%w: -adaptive and -only are mutually exclusive", errUsage)
+	}
+	if !*adaptiveMode {
+		var stray []string
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "offer-rate", "jobs", "workload":
+				stray = append(stray, "-"+fl.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -adaptive", errUsage, strings.Join(stray, ", "))
+		}
+	}
+
+	if *adaptiveMode {
+		w := experiments.UserVisits
+		switch strings.ToLower(*workloadName) {
+		case "uservisits":
+		case "synthetic":
+			w = experiments.Synthetic
+		default:
+			return fmt.Errorf("unknown workload %q (want UserVisits or Synthetic)", *workloadName)
+		}
+		start := time.Now()
+		rep, err := r.ExpAdaptive(w, *jobs, adaptive.RateFromFlag(*offerRate))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, rep)
+		fmt.Fprintf(stdout, "(FigAdaptive computed in %.1fs real time)\n", time.Since(start).Seconds())
+		return nil
 	}
 
 	type exp struct {
@@ -59,14 +119,33 @@ func main() {
 		start := time.Now()
 		fig, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			fmt.Fprintf(stderr, "%s: %v\n", e.id, err)
 			failed = true
 			continue
 		}
-		fmt.Println(fig)
-		fmt.Printf("(%s computed in %.1fs real time)\n\n", e.id, time.Since(start).Seconds())
+		fmt.Fprintln(stdout, fig)
+		fmt.Fprintf(stdout, "(%s computed in %.1fs real time)\n\n", e.id, time.Since(start).Seconds())
 	}
 	if failed {
-		os.Exit(1)
+		return fmt.Errorf("some experiments failed")
 	}
+	return nil
+}
+
+// errUsage marks usage errors, which exit with status 2 (the Unix
+// convention for bad invocations).
+var errUsage = errors.New("usage")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	if err != errUsage { // the bare sentinel means flag already reported it
+		fmt.Fprintf(os.Stderr, "hailbench: %v\n", err)
+	}
+	if errors.Is(err, errUsage) {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBenchAdaptiveSmoke drives the bench main path end to end: a quick
+// fixture upload, a short adaptive job sequence, and the report printout.
+func TestBenchAdaptiveSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-quick", "-adaptive", "-jobs", "3", "-offer-rate", "0.5"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FigAdaptive", "job1", "job3", "idx splits [%]", "offer rate 0.50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBenchBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-adaptive", "-workload", "nope"}, &out, &errb); err == nil {
+		t.Fatal("run accepted an unknown workload")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errb); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if err := run([]string{"-adaptive", "-only", "Fig4a"}, &out, &errb); err == nil {
+		t.Fatal("run accepted -adaptive with -only")
+	}
+	if err := run([]string{"-jobs", "3"}, &out, &errb); err == nil {
+		t.Fatal("run accepted -jobs without -adaptive")
+	}
+}

@@ -14,9 +14,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 
@@ -25,30 +26,35 @@ import (
 	"repro/internal/schema"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hailload: ")
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hailload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fsDir := fs.String("fs", "", "filesystem directory to create/extend (required)")
+	schemaDDL := fs.String("schema", "", `schema, e.g. "a:int32,b:string,c:date" (required)`)
+	sortSpec := fs.String("sort", "", `per-replica sort/index attributes, e.g. "b,a,c" or "a,-,-" (required)`)
+	name := fs.String("name", "/data", "file name inside the filesystem")
+	blockSize := fs.Int("block", 4<<20, "target block size in input bytes")
+	nodes := fs.Int("nodes", 10, "datanodes when creating a new filesystem")
+	sep := fs.String("sep", ",", "field separator (single byte)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		// The flag package already printed the diagnostic and usage.
+		return errUsage
+	}
 
-	fsDir := flag.String("fs", "", "filesystem directory to create/extend (required)")
-	schemaDDL := flag.String("schema", "", `schema, e.g. "a:int32,b:string,c:date" (required)`)
-	sortSpec := flag.String("sort", "", `per-replica sort/index attributes, e.g. "b,a,c" or "a,-,-" (required)`)
-	name := flag.String("name", "/data", "file name inside the filesystem")
-	blockSize := flag.Int("block", 4<<20, "target block size in input bytes")
-	nodes := flag.Int("nodes", 10, "datanodes when creating a new filesystem")
-	sep := flag.String("sep", ",", "field separator (single byte)")
-	flag.Parse()
-
-	if *fsDir == "" || *schemaDDL == "" || *sortSpec == "" || flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if *fsDir == "" || *schemaDDL == "" || *sortSpec == "" || fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("%w: missing required flags or input file", errUsage)
 	}
 	if len(*sep) != 1 {
-		log.Fatalf("separator must be a single byte, got %q", *sep)
+		return fmt.Errorf("separator must be a single byte, got %q", *sep)
 	}
 
 	sch, err := schema.ParseSchema(*schemaDDL)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var sortCols []int
 	for _, nameOrDash := range strings.Split(*sortSpec, ",") {
@@ -59,7 +65,7 @@ func main() {
 		}
 		col := sch.Index(nameOrDash)
 		if col < 0 {
-			log.Fatalf("unknown sort attribute %q", nameOrDash)
+			return fmt.Errorf("unknown sort attribute %q", nameOrDash)
 		}
 		sortCols = append(sortCols, col)
 	}
@@ -69,18 +75,18 @@ func main() {
 	if _, err := os.Stat(*fsDir); err == nil {
 		cluster, err = hdfs.Load(*fsDir)
 		if err != nil {
-			log.Fatalf("loading filesystem: %v", err)
+			return fmt.Errorf("loading filesystem: %v", err)
 		}
 	} else {
 		cluster, err = hdfs.NewCluster(*nodes)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
-	in, err := os.Open(flag.Arg(0))
+	in, err := os.Open(fs.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer in.Close()
 	var lines []string
@@ -90,7 +96,7 @@ func main() {
 		lines = append(lines, sc.Text())
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	client := &core.Client{
@@ -104,15 +110,34 @@ func main() {
 	}
 	sum, err := client.Upload(*name, lines)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := cluster.Save(*fsDir); err != nil {
-		log.Fatalf("saving filesystem: %v", err)
+		return fmt.Errorf("saving filesystem: %v", err)
 	}
 
-	fmt.Printf("uploaded %s: %d rows (%d bad) in %d blocks\n", *name, sum.Rows, sum.BadRecords, sum.Blocks)
-	fmt.Printf("  text %.2f MB → PAX %.2f MB per copy; %d replicas/block; %.2f MB of indexes\n",
+	fmt.Fprintf(stdout, "uploaded %s: %d rows (%d bad) in %d blocks\n", *name, sum.Rows, sum.BadRecords, sum.Blocks)
+	fmt.Fprintf(stdout, "  text %.2f MB → PAX %.2f MB per copy; %d replicas/block; %.2f MB of indexes\n",
 		float64(sum.TextBytes)/1e6, float64(sum.PaxBytes)/1e6,
 		len(sortCols), float64(sum.IndexBytes)/1e6)
-	fmt.Printf("  filesystem saved to %s\n", *fsDir)
+	fmt.Fprintf(stdout, "  filesystem saved to %s\n", *fsDir)
+	return nil
+}
+
+// errUsage marks usage errors, which exit with status 2 (the Unix
+// convention, matching the previous flag.ExitOnError behaviour).
+var errUsage = errors.New("usage")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	if err != errUsage { // the bare sentinel means flag already reported it
+		fmt.Fprintf(os.Stderr, "hailload: %v\n", err)
+	}
+	if errors.Is(err, errUsage) {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }

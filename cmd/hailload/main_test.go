@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hdfs"
+)
+
+func writeCSV(t *testing.T, n int) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,word-%d,%d\n", i%7, i, i%13)
+	}
+	path := filepath.Join(t.TempDir(), "input.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSmoke(t *testing.T) {
+	fsDir := filepath.Join(t.TempDir(), "fs")
+	input := writeCSV(t, 500)
+
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-fs", fsDir,
+		"-schema", "a:int32,b:string,c:int32",
+		"-sort", "a,-",
+		"-name", "/t",
+		"-block", "2048",
+		"-nodes", "4",
+		input,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "uploaded /t: 500 rows") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+
+	// The saved filesystem is loadable and holds the file with 2
+	// replicas per block (sort spec "a,-").
+	cluster, err := hdfs.Load(fsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := cluster.NameNode().FileBlocks("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 {
+		t.Errorf("expected multiple blocks at block size 2048, got %d", len(blocks))
+	}
+	for _, b := range blocks {
+		if got := cluster.NameNode().ReplicaCount(b); got != 2 {
+			t.Errorf("block %d has %d replicas, want 2", b, got)
+		}
+		if len(cluster.NameNode().GetHostsWithIndex(b, 0)) == 0 {
+			t.Errorf("block %d has no replica indexed on column 0", b)
+		}
+	}
+}
+
+func TestLoadMissingFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-fs", t.TempDir()}, &out, &errb); err == nil {
+		t.Fatal("run succeeded without required flags")
+	}
+}

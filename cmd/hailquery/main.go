@@ -5,20 +5,29 @@
 //
 //	hailquery -fs /tmp/hailfs -name /logs/uv \
 //	          -q '@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})' \
-//	          [-splitting] [-stats] [-limit 20]
+//	          [-splitting] [-adaptive] [-offer-rate 0.25] [-stats] [-limit 20]
 //
 // The job uses the HailInputFormat: if some replica of each block carries
 // a clustered index matching the filter attribute, the record reader
 // performs an index scan on that replica; otherwise it falls back to a
 // PAX column scan. -splitting enables the HailSplitting policy.
+//
+// -adaptive enables query-time adaptive indexing: when no replica of a
+// block is indexed on the filter attribute, up to -offer-rate of those
+// blocks are sorted and indexed as a by-product of this very query, the
+// new replicas are saved back into the filesystem directory, and repeated
+// invocations converge to all-index-scan execution.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"strings"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/hdfs"
 	"repro/internal/mapred"
@@ -27,41 +36,66 @@ import (
 	"repro/internal/schema"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hailquery: ")
-
-	fsDir := flag.String("fs", "", "filesystem directory (required)")
-	name := flag.String("name", "/data", "file inside the filesystem")
-	annotation := flag.String("q", "", "HailQuery annotation (required)")
-	splitting := flag.Bool("splitting", false, "enable the HailSplitting policy")
-	stats := flag.Bool("stats", false, "print access-path statistics")
-	limit := flag.Int("limit", 20, "max result rows to print (0 = all)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hailquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fsDir := fs.String("fs", "", "filesystem directory (required)")
+	name := fs.String("name", "/data", "file inside the filesystem")
+	annotation := fs.String("q", "", "HailQuery annotation (required)")
+	splitting := fs.Bool("splitting", false, "enable the HailSplitting policy")
+	adaptiveMode := fs.Bool("adaptive", false, "build missing indexes as a by-product of this query")
+	offerRate := fs.Float64("offer-rate", 0.25, "adaptive: fraction of unindexed blocks converted per query (0 = observe demand only, build nothing)")
+	stats := fs.Bool("stats", false, "print access-path statistics")
+	limit := fs.Int("limit", 20, "max result rows to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		// The flag package already printed the diagnostic and usage.
+		return errUsage
+	}
 
 	if *fsDir == "" || *annotation == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("%w: missing required -fs or -q", errUsage)
+	}
+	if !*adaptiveMode {
+		var stray []string
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "offer-rate" {
+				stray = append(stray, "-"+fl.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -adaptive", errUsage, strings.Join(stray, ", "))
+		}
 	}
 
 	cluster, err := hdfs.Load(*fsDir)
 	if err != nil {
-		log.Fatalf("loading filesystem: %v", err)
+		return fmt.Errorf("loading filesystem: %v", err)
 	}
 	sch, err := fileSchema(cluster, *name)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	q, err := query.ParseAnnotation(sch, *annotation)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
+	input := &core.InputFormat{Cluster: cluster, Query: q, Splitting: *splitting}
 	engine := &mapred.Engine{Cluster: cluster}
+	var idx *adaptive.Indexer
+	if *adaptiveMode {
+		idx = adaptive.New(cluster, adaptive.RateFromFlag(*offerRate))
+		input.Adaptive = idx
+		engine.PostTask = idx.AfterTask
+	}
 	res, err := engine.Run(&mapred.Job{
 		Name:  "hailquery",
 		File:  *name,
-		Input: &core.InputFormat{Cluster: cluster, Query: q, Splitting: *splitting},
+		Input: input,
 		Map: func(r mapred.Record, emit mapred.Emit) {
 			if r.Bad {
 				return
@@ -70,23 +104,66 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for i, kv := range res.Output {
 		if *limit > 0 && i >= *limit {
-			fmt.Printf("... (%d more rows)\n", len(res.Output)-i)
+			fmt.Fprintf(stdout, "... (%d more rows)\n", len(res.Output)-i)
 			break
 		}
-		fmt.Println(kv.Key)
+		fmt.Fprintln(stdout, kv.Key)
 	}
-	fmt.Printf("-- %d rows, %d map tasks\n", len(res.Output), len(res.Tasks))
+	fmt.Fprintf(stdout, "-- %d rows, %d map tasks\n", len(res.Output), len(res.Tasks))
 	if *stats {
 		st := res.TotalStats()
-		fmt.Printf("-- %d index scans, %d full scans, %.2f MB data read, %.1f KB index read, %d seeks\n",
+		fmt.Fprintf(stdout, "-- %d index scans, %d full scans, %.2f MB data read, %.1f KB index read, %d seeks\n",
 			st.IndexScans, st.FullScans,
 			float64(st.BytesRead)/1e6, float64(st.IndexBytesRead)/1e3, st.Seeks)
 	}
+	if idx != nil {
+		plan := idx.LastJob()
+		if plan.Built > 0 {
+			// Persist the new replicas so the next invocation benefits —
+			// even when some other block's build failed, the successful
+			// conversions must not be lost.
+			if err := cluster.Save(*fsDir); err != nil {
+				return fmt.Errorf("saving adaptive indexes: %v", err)
+			}
+		}
+		if plan.File == "" {
+			fmt.Fprintln(stdout, "-- adaptive: no filter column, nothing to index")
+		} else {
+			fmt.Fprintf(stdout, "-- adaptive: %d/%d blocks indexed on @%d, built %d this query (%d added, %d replaced)\n",
+				plan.Indexed+plan.Built, plan.Indexed+plan.Missing, plan.Column+1,
+				plan.Built, plan.ReplicasAdded, plan.ReplicasReplaced)
+			if plan.Skipped > 0 {
+				fmt.Fprintf(stdout, "-- adaptive: %d blocks skipped (no node can hold another replica)\n", plan.Skipped)
+			}
+		}
+		if err := idx.LastErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errUsage marks usage errors, which exit with status 2 (the Unix
+// convention, matching the previous flag.ExitOnError behaviour).
+var errUsage = errors.New("usage")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	if err != errUsage { // the bare sentinel means flag already reported it
+		fmt.Fprintf(os.Stderr, "hailquery: %v\n", err)
+	}
+	if errors.Is(err, errUsage) {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }
 
 // fileSchema reads the schema from the first block of the file — every

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/schema"
+)
+
+// makeFS builds a small HAIL filesystem directory the way hailload does:
+// replica 0 indexed on column a, replica 1 unsorted PAX.
+func makeFS(t *testing.T, n int) string {
+	t.Helper()
+	cluster, err := hdfs.NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.MustNew(
+		schema.Field{Name: "a", Type: schema.Int32},
+		schema.Field{Name: "b", Type: schema.String},
+		schema.Field{Name: "c", Type: schema.Int32},
+	)
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("%d,word-%d,%d", i%7, i, i%13))
+	}
+	client := &core.Client{
+		Cluster: cluster,
+		Config:  core.LayoutConfig{Schema: sch, SortColumns: []int{0, -1}, BlockSize: 2048},
+	}
+	if _, err := client.Upload("/t", lines); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "fs")
+	if err := cluster.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestQuerySmoke(t *testing.T) {
+	dir := makeFS(t, 700)
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@1 = 3", projection={@2})`,
+		"-stats", "-limit", "5",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "100 rows") { // 700 rows, a = i%7 → 100 matches
+		t.Errorf("expected 100 result rows, output:\n%s", s)
+	}
+	if !strings.Contains(s, "index scans") {
+		t.Errorf("-stats output missing, output:\n%s", s)
+	}
+}
+
+// TestQueryAdaptiveConverges drives the full load → query → re-query CLI
+// path: the first adaptive query on an unindexed attribute scans and
+// builds, persists the new replicas, and a later invocation reaches
+// all-index-scan execution against the reloaded filesystem.
+func TestQueryAdaptiveConverges(t *testing.T) {
+	dir := makeFS(t, 700)
+	args := []string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@3 between(2,5)", projection={@1})`,
+		"-adaptive", "-offer-rate", "0.5", "-stats", "-limit", "1",
+	}
+
+	var first bytes.Buffer
+	if err := run(args, &first, &first); err != nil {
+		t.Fatalf("first query: %v\n%s", err, first.String())
+	}
+	if !strings.Contains(first.String(), "0 index scans") {
+		t.Errorf("first query should be all full scans:\n%s", first.String())
+	}
+	if !strings.Contains(first.String(), "-- adaptive:") {
+		t.Errorf("missing adaptive summary:\n%s", first.String())
+	}
+
+	// Run until converged; with offer rate 0.5 a handful of invocations
+	// suffices for any block count.
+	converged := false
+	var last string
+	for i := 0; i < 12 && !converged; i++ {
+		var out bytes.Buffer
+		if err := run(args, &out, &out); err != nil {
+			t.Fatalf("query %d: %v\n%s", i+2, err, out.String())
+		}
+		last = out.String()
+		converged = strings.Contains(last, " 0 full scans")
+	}
+	if !converged {
+		t.Fatalf("adaptive queries never converged to all index scans; last output:\n%s", last)
+	}
+
+	// Row counts are identical before and after conversion.
+	wantRows := rowCount(t, first.String())
+	if got := rowCount(t, last); got != wantRows {
+		t.Errorf("converged query returned %d rows, first returned %d", got, wantRows)
+	}
+}
+
+func rowCount(t *testing.T, out string) int {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "-- ") && strings.Contains(line, " rows, ") {
+			var n, tasks int
+			if _, err := fmt.Sscanf(line, "-- %d rows, %d map tasks", &n, &tasks); err == nil {
+				return n
+			}
+		}
+	}
+	t.Fatalf("no row-count line in output:\n%s", out)
+	return -1
+}

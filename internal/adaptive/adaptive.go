@@ -1,0 +1,307 @@
+// Package adaptive implements lazy, workload-driven index creation on top
+// of HAIL's static per-replica indexing — the direction the paper's own
+// follow-up work (LIAH) takes §4.1's evolving-workload story.
+//
+// Static HAIL fixes each replica's clustered index at upload time. When
+// Bob's queries move to an attribute no replica is indexed on, every job
+// pays a full scan forever. The adaptive indexer closes that gap as a
+// by-product of normal job execution:
+//
+//  1. The HailInputFormat reports, per job, which blocks have no replica
+//     indexed on the query's filter column (ObserveJob). Each miss is
+//     recorded in a per-file index-demand Ledger.
+//  2. A bounded fraction of the missing blocks — the offer rate — is
+//     marked for conversion in this job. After a map task finishes
+//     scanning such a block, the engine's PostTask hook (still holding
+//     the task's execution slot, so the work overlaps the job's remaining
+//     tasks) re-sorts the block on the filter column, builds the sparse
+//     clustered index, and stores the reorganized replica.
+//  3. The new replica is registered with the namenode, so every
+//     subsequent job gets index-scan splits for that block.
+//
+// The offer rate bounds the first job's penalty: with rate r, job 1 pays
+// roughly r times the cost of indexing the whole file, and after ~1/r
+// identical jobs every block is index-scanned.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+)
+
+// DefaultOfferRate is the fraction of a job's unindexed blocks offered
+// for conversion when Indexer.OfferRate is unset.
+const DefaultOfferRate = 0.25
+
+// Disabled is an OfferRate that records index demand in the ledger but
+// never converts a block.
+const Disabled = -1.0
+
+// RateFromFlag maps a CLI -offer-rate value to an OfferRate: flags use 0
+// to mean "observe only, build nothing", while OfferRate's zero value
+// means DefaultOfferRate.
+func RateFromFlag(v float64) float64 {
+	if v == 0 {
+		return Disabled
+	}
+	return v
+}
+
+// JobPlan is the adaptive plan and outcome for one job: coverage seen at
+// split time, blocks offered for conversion, and what the build step did.
+type JobPlan struct {
+	File   string
+	Column int
+	// Split-phase coverage for Column.
+	Indexed int // blocks with an index-scan split
+	Missing int // blocks that fell back to a full scan
+	Offered int // missing blocks selected for conversion this job
+	// Build outcomes (filled in as tasks complete).
+	Built            int
+	ReplicasAdded    int // stored as an additional replica
+	ReplicasReplaced int // converted an unsorted replica in place
+	// Skipped counts offered blocks with nowhere to put a new replica
+	// (every alive node already holds one and none is unsorted) — a
+	// capacity condition, not an error; they stay full-scan.
+	Skipped int
+	Failed  int
+	// Real measured build volume, for the cost model.
+	SortedBytes int64 // PAX bytes sorted and rewritten
+	IndexBytes  int64 // index bytes created
+	StoredBytes int64 // total replica bytes stored (frame + pax + index)
+}
+
+// Indexer piggybacks lazy index creation on MapReduce job execution. Wire
+// it into a job by setting core.InputFormat.Adaptive = idx and
+// mapred.Engine.PostTask = idx.AfterTask.
+type Indexer struct {
+	Cluster *hdfs.Cluster
+	// OfferRate is the fraction of a job's unindexed blocks converted
+	// during that job, in (0, 1]; at least one block is offered whenever
+	// any block misses. 0 defaults to DefaultOfferRate; negative disables
+	// conversion (the ledger still records demand).
+	OfferRate float64
+
+	mu      sync.Mutex
+	ledger  *Ledger
+	pending map[hdfs.BlockID]pendingBuild
+	job     JobPlan
+	lastErr error
+}
+
+type pendingBuild struct {
+	file string
+	col  int
+}
+
+// New returns an Indexer for the cluster. offerRate 0 selects
+// DefaultOfferRate.
+func New(cluster *hdfs.Cluster, offerRate float64) *Indexer {
+	return &Indexer{Cluster: cluster, OfferRate: offerRate, ledger: NewLedger()}
+}
+
+// Ledger returns the indexer's index-demand ledger.
+func (i *Indexer) Ledger() *Ledger {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.ledger == nil {
+		i.ledger = NewLedger()
+	}
+	return i.ledger
+}
+
+func (i *Indexer) offerRate() float64 {
+	if i.OfferRate == 0 {
+		return DefaultOfferRate
+	}
+	return i.OfferRate
+}
+
+// EffectiveOfferRate resolves the 0-means-default sentinel: the rate the
+// indexer actually plans with (negative means conversion is disabled).
+func (i *Indexer) EffectiveOfferRate() float64 { return i.offerRate() }
+
+// ObserveJob implements core.AdaptiveObserver: it records every missing
+// (block, column) in the ledger and selects the offer-rate-bounded subset
+// of missing blocks to convert during this job. Any conversions still
+// pending from a previous job are dropped — demand is re-derived from the
+// current workload each job.
+func (i *Indexer) ObserveJob(file string, column int, indexed, missing []hdfs.BlockID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.ledger == nil {
+		i.ledger = NewLedger()
+	}
+	for _, b := range missing {
+		i.ledger.RecordMiss(file, b, column)
+	}
+
+	offer := 0
+	if rate := i.offerRate(); rate > 0 && len(missing) > 0 {
+		offer = int(math.Ceil(rate * float64(len(missing))))
+		if offer > len(missing) {
+			offer = len(missing)
+		}
+	}
+	// Deterministic selection: lowest block IDs first.
+	sel := append([]hdfs.BlockID(nil), missing...)
+	sort.Slice(sel, func(a, b int) bool { return sel[a] < sel[b] })
+	i.pending = make(map[hdfs.BlockID]pendingBuild, offer)
+	for _, b := range sel[:offer] {
+		i.pending[b] = pendingBuild{file: file, col: column}
+	}
+	i.job = JobPlan{
+		File: file, Column: column,
+		Indexed: len(indexed), Missing: len(missing), Offered: offer,
+	}
+	i.lastErr = nil // errors are per job, like the plan
+}
+
+// AfterTask is the mapred.Engine PostTask hook: for every block of the
+// finished task that was offered for conversion, it sorts the block on
+// the target column, builds its clustered index, and stores the
+// reorganized replica. It runs on the task's worker goroutine, so the
+// build overlaps the job's remaining map tasks.
+func (i *Indexer) AfterTask(report mapred.TaskReport) {
+	for _, b := range report.Split.Blocks {
+		i.mu.Lock()
+		p, ok := i.pending[b]
+		if ok {
+			delete(i.pending, b)
+		}
+		i.mu.Unlock()
+		if !ok {
+			continue
+		}
+		i.buildOne(p.file, b, p.col, report.Node)
+	}
+}
+
+// LastJob returns the most recent job's plan and build outcome.
+func (i *Indexer) LastJob() JobPlan {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.job
+}
+
+// LastErr returns the most recent build error, if any.
+func (i *Indexer) LastErr() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.lastErr
+}
+
+// buildOne converts one block: read any replica, re-sort on col, build
+// the sparse clustered index, and store the result — in place of an
+// unsorted replica when one exists (no extra storage beyond the index),
+// as an additional replica on a free node otherwise.
+func (i *Indexer) buildOne(file string, b hdfs.BlockID, col int, near hdfs.NodeID) {
+	fail := func(err error) {
+		i.mu.Lock()
+		i.job.Failed++
+		i.lastErr = fmt.Errorf("adaptive: block %d column %d: %v", b, col, err)
+		i.mu.Unlock()
+	}
+
+	// Choose the placement before paying for the read and sort: on a
+	// fully replicated cluster there may be nowhere to put a new copy,
+	// and that is a capacity condition to skip cheaply, not an error to
+	// re-pay the build cost for on every job.
+	target, replace := i.findUnsortedReplica(b)
+	if !replace {
+		var ok bool
+		if target, ok = i.pickFreeNode(b); !ok {
+			i.mu.Lock()
+			i.job.Skipped++
+			i.mu.Unlock()
+			return
+		}
+	}
+
+	// The map task just scanned this block, so in a real deployment these
+	// bytes are hot in the task's page cache; re-reading from the serving
+	// node models that (the cost model charges no extra read).
+	data, _, err := i.Cluster.ReadBlockAny(b, near)
+	if err != nil {
+		fail(err)
+		return
+	}
+	paxData, _, err := core.ParseFrame(data)
+	if err != nil {
+		fail(err)
+		return
+	}
+	framed, info, err := core.BuildIndexedReplica(paxData, col)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	if replace {
+		err = i.Cluster.ReplaceReplica(b, target, framed, info)
+	} else {
+		err = i.Cluster.StoreAdditionalReplica(b, target, framed, info)
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	i.mu.Lock()
+	i.job.Built++
+	if replace {
+		i.job.ReplicasReplaced++
+	} else {
+		i.job.ReplicasAdded++
+	}
+	// Sorting rewrites the whole PAX payload; the sorted marshal is the
+	// same size as the input block.
+	i.job.SortedBytes += int64(len(paxData))
+	i.job.IndexBytes += int64(info.IndexSize)
+	i.job.StoredBytes += int64(len(framed))
+	i.ledger.RecordBuilt(file, b, col)
+	i.mu.Unlock()
+}
+
+// findUnsortedReplica returns an alive node holding an unsorted, unindexed
+// replica of b — the cheapest conversion target, since replacing it costs
+// no extra storage beyond the index.
+func (i *Indexer) findUnsortedReplica(b hdfs.BlockID) (hdfs.NodeID, bool) {
+	nn := i.Cluster.NameNode()
+	for _, h := range nn.GetHosts(b) {
+		info, ok := nn.ReplicaInfo(b, h)
+		if !ok || info.HasIndex || info.SortColumn != -1 {
+			continue
+		}
+		if dn, err := i.Cluster.DataNode(h); err == nil && dn.Alive() {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// pickFreeNode returns an alive node not yet holding a replica of b,
+// spreading adaptive replicas across the cluster by block ID.
+func (i *Indexer) pickFreeNode(b hdfs.BlockID) (hdfs.NodeID, bool) {
+	holders := make(map[hdfs.NodeID]bool)
+	for _, h := range i.Cluster.NameNode().GetHosts(b) {
+		holders[h] = true
+	}
+	var cands []hdfs.NodeID
+	for _, n := range i.Cluster.AliveNodes() {
+		if !holders[n] {
+			cands = append(cands, n)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+	return cands[int(b)%len(cands)], true
+}

@@ -1,0 +1,317 @@
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// testSchema: a (int32), b (string), c (int32). The static layout never
+// indexes c, so queries filtering on c exercise the adaptive path.
+var testSchema = schema.MustNew(
+	schema.Field{Name: "a", Type: schema.Int32},
+	schema.Field{Name: "b", Type: schema.String},
+	schema.Field{Name: "c", Type: schema.Int32},
+)
+
+func testLines(n int) []string {
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("%d,word-%d,%d", i%7, i, i%13))
+	}
+	return lines
+}
+
+// upload creates a cluster and uploads n rows with the given per-replica
+// sort columns, sized so the file spans several blocks.
+func upload(t *testing.T, nodes, n int, sortCols []int) (*hdfs.Cluster, string) {
+	t.Helper()
+	cluster, err := hdfs.NewCluster(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := testLines(n)
+	perLine := len(lines[0]) + 1
+	client := &core.Client{
+		Cluster: cluster,
+		Config: core.LayoutConfig{
+			Schema:      testSchema,
+			SortColumns: sortCols,
+			BlockSize:   perLine * n / 4, // ~4 blocks
+		},
+	}
+	if _, err := client.Upload("/t", lines); err != nil {
+		t.Fatal(err)
+	}
+	return cluster, "/t"
+}
+
+func cQuery() *query.Query {
+	return &query.Query{
+		Filter:     []query.Predicate{query.Between(2, schema.IntVal(2), schema.IntVal(5))},
+		Projection: []int{0, 2},
+	}
+}
+
+// runJob executes one adaptive job and returns its result.
+func runJob(t *testing.T, cluster *hdfs.Cluster, file string, idx *Indexer) *mapred.JobResult {
+	t.Helper()
+	engine := &mapred.Engine{Cluster: cluster, PostTask: idx.AfterTask}
+	res, err := engine.Run(&mapred.Job{
+		Name:  "adaptive-test",
+		File:  file,
+		Input: &core.InputFormat{Cluster: cluster, Query: cQuery(), Adaptive: idx},
+		Map: func(r mapred.Record, emit mapred.Emit) {
+			if !r.Bad {
+				emit(r.Row.Line(','), "")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.LastErr(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLedgerDemand(t *testing.T) {
+	l := NewLedger()
+	l.RecordMiss("/f", 1, 2)
+	l.RecordMiss("/f", 1, 2)
+	l.RecordMiss("/f", 2, 2)
+	l.RecordMiss("/f", 1, 5)
+	l.RecordBuilt("/f", 1, 2)
+	l.RecordBuilt("/f", 1, 2) // idempotent
+
+	d, ok := l.Demand("/f", 2)
+	if !ok {
+		t.Fatal("no demand recorded for column 2")
+	}
+	if d.Misses != 3 || d.Blocks != 2 || d.Built != 1 {
+		t.Errorf("demand = %+v, want Misses=3 Blocks=2 Built=1", d)
+	}
+	ds := l.Demands("/f")
+	if len(ds) != 2 || ds[0].Column != 2 || ds[1].Column != 5 {
+		t.Errorf("Demands order = %+v, want column 2 (hotter) first", ds)
+	}
+	if _, ok := l.Demand("/other", 2); ok {
+		t.Error("unexpected demand for unrelated file")
+	}
+}
+
+func TestFirstJobOffersBoundedFraction(t *testing.T) {
+	cluster, file := upload(t, 6, 2000, []int{0, 1})
+	idx := New(cluster, 0.5)
+	res := runJob(t, cluster, file, idx)
+
+	plan := idx.LastJob()
+	blocks, _ := cluster.NameNode().FileBlocks(file)
+	nBlocks := len(blocks)
+	if plan.Column != 2 {
+		t.Fatalf("adaptive column = %d, want 2", plan.Column)
+	}
+	if plan.Indexed != 0 || plan.Missing != nBlocks {
+		t.Fatalf("plan coverage = %d indexed / %d missing, want 0 / %d", plan.Indexed, plan.Missing, nBlocks)
+	}
+	want := (nBlocks + 1) / 2 // ceil(0.5 × nBlocks)
+	if plan.Offered != want || plan.Built != want {
+		t.Fatalf("offered %d built %d, want %d", plan.Offered, plan.Built, want)
+	}
+
+	// The first job saw no index at all.
+	st := res.TotalStats()
+	if st.IndexScans != 0 || st.FullScans != nBlocks {
+		t.Errorf("first job: %d index scans, %d full scans, want 0/%d", st.IndexScans, st.FullScans, nBlocks)
+	}
+
+	// The built blocks are registered with the namenode.
+	indexed := 0
+	for _, b := range blocks {
+		if len(cluster.NameNode().GetHostsWithIndex(b, 2)) > 0 {
+			indexed++
+		}
+	}
+	if indexed != want {
+		t.Errorf("%d blocks registered with an index on column 2, want %d", indexed, want)
+	}
+
+	// Demand was recorded for every block.
+	d, ok := idx.Ledger().Demand(file, 2)
+	if !ok || d.Blocks != nBlocks || d.Built != want {
+		t.Errorf("ledger demand = %+v, want Blocks=%d Built=%d", d, nBlocks, want)
+	}
+}
+
+func TestAdaptiveReplacesUnsortedReplica(t *testing.T) {
+	cluster, file := upload(t, 6, 2000, []int{0, -1}) // replica 1 is unsorted PAX
+	blocks, _ := cluster.NameNode().FileBlocks(file)
+	before := make(map[hdfs.BlockID]int)
+	for _, b := range blocks {
+		before[b] = cluster.NameNode().ReplicaCount(b)
+	}
+
+	idx := New(cluster, 1.0)
+	runJob(t, cluster, file, idx)
+	plan := idx.LastJob()
+	if plan.Built != len(blocks) || plan.ReplicasReplaced != len(blocks) || plan.ReplicasAdded != 0 {
+		t.Fatalf("plan = %+v, want all %d blocks converted in place", plan, len(blocks))
+	}
+	for _, b := range blocks {
+		if got := cluster.NameNode().ReplicaCount(b); got != before[b] {
+			t.Errorf("block %d replica count %d, want unchanged %d", b, got, before[b])
+		}
+		if len(cluster.NameNode().GetHostsWithIndex(b, 2)) == 0 {
+			t.Errorf("block %d has no replica indexed on column 2", b)
+		}
+	}
+}
+
+func TestAdaptiveAddsReplicaWhenAllSorted(t *testing.T) {
+	cluster, file := upload(t, 6, 2000, []int{0, 1}) // both replicas sorted+indexed
+	blocks, _ := cluster.NameNode().FileBlocks(file)
+
+	idx := New(cluster, 1.0)
+	runJob(t, cluster, file, idx)
+	plan := idx.LastJob()
+	if plan.Built != len(blocks) || plan.ReplicasAdded != len(blocks) || plan.ReplicasReplaced != 0 {
+		t.Fatalf("plan = %+v, want all %d blocks stored as additional replicas", plan, len(blocks))
+	}
+	for _, b := range blocks {
+		if got := cluster.NameNode().ReplicaCount(b); got != 3 {
+			t.Errorf("block %d replica count %d, want 3 (2 static + 1 adaptive)", b, got)
+		}
+	}
+}
+
+// TestConvergenceAndEquivalence runs the same job repeatedly: the
+// index-scan fraction must rise monotonically to 1.0, and every job must
+// return exactly the same rows.
+func TestConvergenceAndEquivalence(t *testing.T) {
+	cluster, file := upload(t, 8, 3000, []int{0, 1, -1})
+	blocks, _ := cluster.NameNode().FileBlocks(file)
+	idx := New(cluster, 0.34)
+
+	var baseline []string
+	lastFrac := -1.0
+	converged := false
+	for job := 0; job < 2*len(blocks)+2; job++ {
+		res := runJob(t, cluster, file, idx)
+
+		var rows []string
+		for _, kv := range res.Output {
+			rows = append(rows, kv.Key)
+		}
+		sort.Strings(rows)
+		if baseline == nil {
+			baseline = rows
+			if len(baseline) == 0 {
+				t.Fatal("query returned no rows")
+			}
+		} else if len(rows) != len(baseline) {
+			t.Fatalf("job %d returned %d rows, baseline %d", job, len(rows), len(baseline))
+		} else {
+			for i := range rows {
+				if rows[i] != baseline[i] {
+					t.Fatalf("job %d row %d = %q, baseline %q", job, i, rows[i], baseline[i])
+				}
+			}
+		}
+
+		st := res.TotalStats()
+		frac := float64(st.IndexScans) / float64(st.IndexScans+st.FullScans)
+		if frac < lastFrac {
+			t.Fatalf("job %d index-scan fraction %f < previous %f", job, frac, lastFrac)
+		}
+		if frac == 1.0 {
+			converged = true
+			break
+		}
+		if job > 0 && frac == lastFrac {
+			t.Fatalf("job %d made no progress (fraction stuck at %f)", job, frac)
+		}
+		lastFrac = frac
+	}
+	if !converged {
+		t.Fatal("index-scan fraction never reached 1.0")
+	}
+}
+
+// TestAdaptiveRebuildsAfterNodeLoss: when the node holding a block's
+// only adaptive index dies, the next job treats the block as missing
+// again and rebuilds the index on a surviving node — Dir_rep's dead
+// entries must not count as coverage.
+func TestAdaptiveRebuildsAfterNodeLoss(t *testing.T) {
+	cluster, file := upload(t, 6, 2000, []int{0, 1})
+	idx := New(cluster, 1.0)
+	runJob(t, cluster, file, idx)
+	blocks, _ := cluster.NameNode().FileBlocks(file)
+
+	// Kill the node holding the first block's adaptive replica.
+	hosts := cluster.NameNode().GetHostsWithIndex(blocks[0], 2)
+	if len(hosts) != 1 {
+		t.Fatalf("block %d has %d indexed replicas on column 2, want 1", blocks[0], len(hosts))
+	}
+	if err := cluster.KillNode(hosts[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	runJob(t, cluster, file, idx)
+	plan := idx.LastJob()
+	if plan.Missing == 0 || plan.Built == 0 {
+		t.Fatalf("plan after node loss = %+v, want the orphaned blocks re-offered and rebuilt", plan)
+	}
+	for _, b := range blocks {
+		alive := false
+		for _, h := range cluster.NameNode().GetHostsWithIndex(b, 2) {
+			if dn, err := cluster.DataNode(h); err == nil && dn.Alive() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			t.Errorf("block %d has no alive replica indexed on column 2 after rebuild", b)
+		}
+	}
+}
+
+// TestAdaptiveSkipsWhenClusterFull: with replication == node count and
+// no unsorted replica, there is nowhere to put a new indexed copy — the
+// offered blocks are skipped cleanly (no error, no repeated build work)
+// and the job still returns correct results.
+func TestAdaptiveSkipsWhenClusterFull(t *testing.T) {
+	cluster, file := upload(t, 2, 2000, []int{0, 1}) // replication 2 on 2 nodes
+	blocks, _ := cluster.NameNode().FileBlocks(file)
+
+	idx := New(cluster, 1.0)
+	res := runJob(t, cluster, file, idx) // runJob fails the test if LastErr is set
+	plan := idx.LastJob()
+	if plan.Built != 0 || plan.Failed != 0 || plan.Skipped != len(blocks) {
+		t.Fatalf("plan = %+v, want all %d offered blocks skipped without error", plan, len(blocks))
+	}
+	if len(res.Output) == 0 {
+		t.Error("query returned no rows")
+	}
+}
+
+// TestObserveOnlyWhenDisabled: a negative offer rate records demand but
+// never builds.
+func TestObserveOnlyWhenDisabled(t *testing.T) {
+	cluster, file := upload(t, 6, 2000, []int{0, 1})
+	idx := New(cluster, -1)
+	runJob(t, cluster, file, idx)
+	plan := idx.LastJob()
+	if plan.Offered != 0 || plan.Built != 0 {
+		t.Fatalf("plan = %+v, want nothing offered or built", plan)
+	}
+	if d, ok := idx.Ledger().Demand(file, 2); !ok || d.Blocks != plan.Missing {
+		t.Errorf("ledger demand = %+v, want %d blocks recorded", d, plan.Missing)
+	}
+}

@@ -1,0 +1,122 @@
+package adaptive
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/hdfs"
+)
+
+// demandKey identifies one (file, column) index demand stream.
+type demandKey struct {
+	file string
+	col  int
+}
+
+// Demand summarizes the recorded index demand for one (file, column):
+// how often jobs wanted an index that was missing, over how many distinct
+// blocks, and how many of those blocks have since been indexed.
+type Demand struct {
+	File   string
+	Column int
+	// Misses is the cumulative number of (job, block) full-scan events
+	// caused by the missing index — the signal a future eviction or
+	// prioritization policy would rank columns by.
+	Misses int
+	// Blocks is the number of distinct blocks that ever missed.
+	Blocks int
+	// Built is the number of those blocks the adaptive indexer has
+	// converted so far.
+	Built int
+}
+
+// Ledger is the per-file index-demand record: every time the split phase
+// falls back to a full scan because no replica of a block is indexed on
+// the query's filter column, the miss is recorded here. It is the
+// persistent "what does the workload want" signal that outlives any
+// single job plan.
+type Ledger struct {
+	mu      sync.Mutex
+	demands map[demandKey]*Demand
+	blocks  map[demandKey]map[hdfs.BlockID]bool // distinct missing blocks
+	built   map[demandKey]map[hdfs.BlockID]bool
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		demands: make(map[demandKey]*Demand),
+		blocks:  make(map[demandKey]map[hdfs.BlockID]bool),
+		built:   make(map[demandKey]map[hdfs.BlockID]bool),
+	}
+}
+
+func (l *Ledger) demand(key demandKey) *Demand {
+	d, ok := l.demands[key]
+	if !ok {
+		d = &Demand{File: key.file, Column: key.col}
+		l.demands[key] = d
+		l.blocks[key] = make(map[hdfs.BlockID]bool)
+		l.built[key] = make(map[hdfs.BlockID]bool)
+	}
+	return d
+}
+
+// RecordMiss records that a job wanted block b of file indexed on col and
+// had to scan instead.
+func (l *Ledger) RecordMiss(file string, b hdfs.BlockID, col int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := demandKey{file, col}
+	d := l.demand(key)
+	d.Misses++
+	if !l.blocks[key][b] {
+		l.blocks[key][b] = true
+		d.Blocks++
+	}
+}
+
+// RecordBuilt records that block b of file now has a replica indexed on
+// col, satisfying its recorded demand.
+func (l *Ledger) RecordBuilt(file string, b hdfs.BlockID, col int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := demandKey{file, col}
+	d := l.demand(key)
+	if !l.built[key][b] {
+		l.built[key][b] = true
+		d.Built++
+	}
+}
+
+// Demand returns the recorded demand for (file, col); ok is false when no
+// miss was ever recorded for it.
+func (l *Ledger) Demand(file string, col int) (Demand, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.demands[demandKey{file, col}]
+	if !ok {
+		return Demand{}, false
+	}
+	return *d, true
+}
+
+// Demands lists all recorded demands for a file, hottest (most misses)
+// first; ties break on column for determinism.
+func (l *Ledger) Demands(file string) []Demand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Demand
+	for key, d := range l.demands {
+		if key.file == file {
+			out = append(out, *d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Misses != out[j].Misses {
+			return out[i].Misses > out[j].Misses
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}

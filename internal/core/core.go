@@ -98,6 +98,36 @@ type UploadSummary struct {
 	BlockIDs    []hdfs.BlockID
 }
 
+// BuildIndexedReplica converts a marshalled PAX block into the stored
+// form of a replica clustered and indexed on col: sort on col, build the
+// sparse clustered index, and frame both (§3.2 step 7). Both conversion
+// paths share it — the upload pipeline's per-replica transform and the
+// adaptive indexer's lazy query-time conversion — so the stored layout
+// and the registered ReplicaInfo cannot diverge between them.
+func BuildIndexedReplica(paxData []byte, col int) ([]byte, hdfs.ReplicaInfo, error) {
+	b, err := pax.Unmarshal(paxData)
+	if err != nil {
+		return nil, hdfs.ReplicaInfo{}, err
+	}
+	if _, err := b.SortBy(col); err != nil {
+		return nil, hdfs.ReplicaInfo{}, err
+	}
+	ix, err := index.Build(b, col)
+	if err != nil {
+		return nil, hdfs.ReplicaInfo{}, err
+	}
+	sorted, err := b.Marshal()
+	if err != nil {
+		return nil, hdfs.ReplicaInfo{}, err
+	}
+	ixData, err := ix.Marshal()
+	if err != nil {
+		return nil, hdfs.ReplicaInfo{}, err
+	}
+	framed := FrameReplica(sorted, ixData)
+	return framed, hdfs.ReplicaInfo{SortColumn: col, HasIndex: true, IndexSize: len(ixData)}, nil
+}
+
 // Client uploads text data to HDFS the HAIL way.
 type Client struct {
 	Cluster *hdfs.Cluster
@@ -171,33 +201,16 @@ func (cl *Client) uploadBlock(file string, block *pax.Block, sum *UploadSummary)
 		// Each datanode reassembles the PAX block in memory (§3.2 step 6)
 		// — `data` here is exactly the reassembled packet payload — then
 		// sorts on its own attribute and builds its clustered index.
-		b, err := pax.Unmarshal(data)
-		if err != nil {
-			return nil, hdfs.ReplicaInfo{}, err
-		}
 		col := cfg.SortColumns[pos]
 		if col < 0 {
-			// Unsorted PAX replica: store as received, no index.
+			// Unsorted PAX replica: validate and store as received.
+			if _, err := pax.Unmarshal(data); err != nil {
+				return nil, hdfs.ReplicaInfo{}, err
+			}
 			framed := FrameReplica(data, nil)
 			return framed, hdfs.ReplicaInfo{SortColumn: -1}, nil
 		}
-		if _, err := b.SortBy(col); err != nil {
-			return nil, hdfs.ReplicaInfo{}, err
-		}
-		ix, err := index.Build(b, col)
-		if err != nil {
-			return nil, hdfs.ReplicaInfo{}, err
-		}
-		sorted, err := b.Marshal()
-		if err != nil {
-			return nil, hdfs.ReplicaInfo{}, err
-		}
-		ixData, err := ix.Marshal()
-		if err != nil {
-			return nil, hdfs.ReplicaInfo{}, err
-		}
-		framed := FrameReplica(sorted, ixData)
-		return framed, hdfs.ReplicaInfo{SortColumn: col, HasIndex: true, IndexSize: len(ixData)}, nil
+		return BuildIndexedReplica(data, col)
 	}
 
 	id, stats, err := cl.Cluster.WriteBlock(file, paxData, cfg.Replication(), transform)

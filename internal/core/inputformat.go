@@ -32,38 +32,100 @@ type InputFormat struct {
 	// when Splitting is on; the paper uses the trackers' map slot count.
 	// 0 defaults to 2.
 	SplitsPerNode int
+	// Adaptive, if set, receives the split phase's per-block index
+	// coverage report for the query's filter column, including the blocks
+	// that would fall back to a full scan. The adaptive indexer uses it to
+	// record index demand and to plan lazy index creation during the job
+	// (LIAH-style); nil keeps the static HAIL behaviour.
+	Adaptive AdaptiveObserver
 }
 
-// indexColumn picks the filter predicate that will drive index selection:
-// the first one for which at least one replica of the first block carries
-// a matching clustered index. Returns -1 when none does.
-func (f *InputFormat) indexColumn(blocks []hdfs.BlockID) int {
+// AdaptiveObserver is the adaptive indexing layer's view of the split
+// phase. ObserveJob is called once per Splits invocation that has a
+// usable filter column: `indexed` blocks get index-scan splits, `missing`
+// blocks have no replica indexed on `column` and get full-scan splits.
+type AdaptiveObserver interface {
+	ObserveJob(file string, column int, indexed, missing []hdfs.BlockID)
+}
+
+// pickColumn selects the filter predicate that drives index selection:
+// the first one for which at least one of the probed blocks has a
+// replica with a matching clustered index. With fallback, the first
+// filter column is returned even when no block is indexed on it — the
+// attribute the adaptive layer will build toward. Returns -1 when there
+// is no filter (or, without fallback, no match).
+func (f *InputFormat) pickColumn(blocks []hdfs.BlockID, fallback bool) int {
 	if f.Query == nil || len(f.Query.Filter) == 0 || len(blocks) == 0 {
 		return -1
 	}
 	for _, p := range f.Query.Filter {
-		if len(f.Cluster.NameNode().GetHostsWithIndex(blocks[0], p.Column)) > 0 {
-			return p.Column
+		for _, b := range blocks {
+			if len(f.Cluster.NameNode().GetHostsWithIndex(b, p.Column)) > 0 {
+				return p.Column
+			}
 		}
+	}
+	if fallback {
+		return f.Query.Filter[0].Column
 	}
 	return -1
 }
 
-// indexedHosts returns the block's matching-index holders with alive nodes
-// first. The real namenode drops heartbeat-lost datanodes from block
+// indexColumn is the static policy: probe only the first block (every
+// block of a statically-uploaded file has the same layout).
+func (f *InputFormat) indexColumn(blocks []hdfs.BlockID) int {
+	if len(blocks) > 1 {
+		blocks = blocks[:1]
+	}
+	return f.pickColumn(blocks, false)
+}
+
+// splitIndexedHosts partitions the block's matching-index holders by
+// liveness. The real namenode drops heartbeat-lost datanodes from block
 // locations; Dir_rep entries for dead nodes remain (the node may return),
 // so liveness is applied at lookup time.
-func (f *InputFormat) indexedHosts(b hdfs.BlockID, col int) []hdfs.NodeID {
-	hosts := f.Cluster.NameNode().GetHostsWithIndex(b, col)
-	var alive, dead []hdfs.NodeID
-	for _, h := range hosts {
+func (f *InputFormat) splitIndexedHosts(b hdfs.BlockID, col int) (alive, dead []hdfs.NodeID) {
+	for _, h := range f.Cluster.NameNode().GetHostsWithIndex(b, col) {
 		if dn, err := f.Cluster.DataNode(h); err == nil && dn.Alive() {
 			alive = append(alive, h)
 		} else {
 			dead = append(dead, h)
 		}
 	}
+	return alive, dead
+}
+
+// indexedHosts returns the block's matching-index holders, alive nodes
+// first.
+func (f *InputFormat) indexedHosts(b hdfs.BlockID, col int) []hdfs.NodeID {
+	alive, dead := f.splitIndexedHosts(b, col)
 	return append(alive, dead...)
+}
+
+// adaptiveTarget picks the filter column the adaptive layer should index
+// toward: probe *every* block (a partially converted file keeps using
+// its new indexes) and fall back to the first filter column — the
+// attribute the job actually needs, which the adaptive indexer will
+// start building.
+func (f *InputFormat) adaptiveTarget(blocks []hdfs.BlockID) int {
+	return f.pickColumn(blocks, true)
+}
+
+// partitionByIndex splits the block list into blocks that have a usable
+// (alive) replica indexed on col and blocks that do not. Liveness
+// matters here: Dir_rep keeps entries for dead nodes, but a block whose
+// only matching replica is unreachable degrades to a full scan at read
+// time, so the adaptive layer must treat it as missing and rebuild the
+// index on a surviving node.
+func (f *InputFormat) partitionByIndex(blocks []hdfs.BlockID, col int) (indexed, missing []hdfs.BlockID) {
+	for _, b := range blocks {
+		if alive, _ := f.splitIndexedHosts(b, col); len(alive) > 0 {
+			indexed = append(indexed, b)
+		} else {
+			missing = append(missing, b)
+		}
+	}
+	return indexed, missing
 }
 
 // Splits implements the split phase (§4.3).
@@ -73,6 +135,15 @@ func (f *InputFormat) Splits(file string) ([]mapred.Split, error) {
 		return nil, err
 	}
 	col := f.indexColumn(blocks)
+	if f.Adaptive != nil {
+		if col < 0 {
+			col = f.adaptiveTarget(blocks)
+		}
+		if col >= 0 {
+			indexed, missing := f.partitionByIndex(blocks, col)
+			f.Adaptive.ObserveJob(file, col, indexed, missing)
+		}
+	}
 	if col < 0 {
 		return f.scanSplits(blocks), nil
 	}

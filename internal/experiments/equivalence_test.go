@@ -12,6 +12,7 @@ import (
 // per-replica clustered index scan (HAIL, with and without HailSplitting)
 // must produce exactly the same multiset of result rows.
 func TestThreeSystemResultEquivalence(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	for _, w := range []Workload{UserVisits, Synthetic} {
 		for _, bq := range queriesFor(w) {
@@ -69,6 +70,7 @@ func TestThreeSystemResultEquivalence(t *testing.T) {
 // model consumes: binary ratios in sane ranges, per-replica stored bytes
 // accounted, block counts aligned across systems on the same data.
 func TestUploadSummariesConsistent(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	fh, err := r.fixture(UserVisits, HAIL)
 	if err != nil {
@@ -106,6 +108,7 @@ func TestUploadSummariesConsistent(t *testing.T) {
 
 // TestScaleFactors checks the laptop→paper scaling arithmetic.
 func TestScaleFactors(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	f, err := r.fixture(UserVisits, HAIL)
 	if err != nil {
@@ -131,6 +134,7 @@ func TestScaleFactors(t *testing.T) {
 // queries filter on attr1, so although HAIL created three indexes, only
 // the attr1 replica is ever chosen.
 func TestSynQueriesUseOnlyOneIndex(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	f, err := r.fixture(Synthetic, HAIL)
 	if err != nil {

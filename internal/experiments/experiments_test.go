@@ -11,6 +11,16 @@ import (
 
 func quickRunner() *Runner { return NewQuickRunner() }
 
+// skipIfShort keeps the CI -short lane fast: the full paper-figure suite
+// (~10 s of quick-fixture uploads and queries) stays the local tier-1,
+// while -short still runs the adaptive suite and the pure-logic tests.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-figure suite skipped in -short mode")
+	}
+}
+
 func value(f *Figure, series, x string) float64 {
 	for _, s := range f.Series {
 		if s.Label != series {
@@ -26,6 +36,7 @@ func value(f *Figure, series, x string) float64 {
 }
 
 func TestFig4aShapes(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	fig, err := r.Fig4a()
 	if err != nil {
@@ -61,6 +72,7 @@ func TestFig4aShapes(t *testing.T) {
 }
 
 func TestFig4bShapes(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	fig, err := r.Fig4b()
 	if err != nil {
@@ -76,6 +88,7 @@ func TestFig4bShapes(t *testing.T) {
 }
 
 func TestFig4cCrossover(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	fig, err := r.Fig4c()
 	if err != nil {
@@ -102,6 +115,7 @@ func TestFig4cCrossover(t *testing.T) {
 }
 
 func TestTable2ScaleUp(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	ta, err := r.Table2a()
 	if err != nil {
@@ -135,6 +149,7 @@ func TestTable2ScaleUp(t *testing.T) {
 }
 
 func TestFig5ScaleOut(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	fig, err := r.Fig5()
 	if err != nil {
@@ -156,6 +171,7 @@ func TestFig5ScaleOut(t *testing.T) {
 }
 
 func TestFig6Shapes(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	a, err := r.Fig6a()
 	if err != nil {
@@ -205,6 +221,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	a, err := r.Fig7a()
 	if err != nil {
@@ -235,6 +252,7 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestFig8FaultTolerance(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	fig, err := r.Fig8()
 	if err != nil {
@@ -259,6 +277,7 @@ func TestFig8FaultTolerance(t *testing.T) {
 }
 
 func TestFig9HeadlineSpeedups(t *testing.T) {
+	skipIfShort(t)
 	r := quickRunner()
 	a, err := r.Fig9a()
 	if err != nil {

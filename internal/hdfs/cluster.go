@@ -205,12 +205,13 @@ func (c *Cluster) WriteBlock(file string, data []byte, replication int, transfor
 	return id, stats, nil
 }
 
-// StoreRecoveredReplica places a block replica on a node outside the
-// normal upload pipeline — the re-replication path HDFS uses to restore
-// the replication factor after a datanode loss. The replica's checksum
-// file is computed here, and the namenode learns about the new replica
-// and its metadata.
-func (c *Cluster) StoreRecoveredReplica(b BlockID, node NodeID, data []byte, info ReplicaInfo) error {
+// StoreAdditionalReplica places a block replica on a node outside the
+// normal upload pipeline and registers it with the namenode. Two paths
+// use it: re-replication after a datanode loss (StoreRecoveredReplica)
+// and the adaptive indexer, which stores a freshly sorted+indexed copy of
+// a block so later jobs get index scans. The replica's checksum file is
+// computed here.
+func (c *Cluster) StoreAdditionalReplica(b BlockID, node NodeID, data []byte, info ReplicaInfo) error {
 	dn, err := c.DataNode(node)
 	if err != nil {
 		return err
@@ -224,6 +225,28 @@ func (c *Cluster) StoreRecoveredReplica(b BlockID, node NodeID, data []byte, inf
 	info.Size = len(data)
 	c.nn.RegisterReplica(b, node, info)
 	return nil
+}
+
+// StoreRecoveredReplica is the re-replication path HDFS uses to restore
+// the replication factor after a datanode loss.
+func (c *Cluster) StoreRecoveredReplica(b BlockID, node NodeID, data []byte, info ReplicaInfo) error {
+	return c.StoreAdditionalReplica(b, node, data, info)
+}
+
+// ReplaceReplica overwrites an existing replica's stored bytes with a
+// reorganized copy (same rows, different sort order, new index) and
+// updates the namenode's Dir_rep entry — the adaptive indexer's in-place
+// conversion of an unsorted PAX replica into a sorted, indexed one.
+func (c *Cluster) ReplaceReplica(b BlockID, node NodeID, data []byte, info ReplicaInfo) error {
+	dn, err := c.DataNode(node)
+	if err != nil {
+		return err
+	}
+	if err := dn.replace(b, data, checksumChunks(data)); err != nil {
+		return err
+	}
+	info.Size = len(data)
+	return c.nn.UpdateReplica(b, node, info)
 }
 
 // ReadBlockFrom reads and verifies a replica from a specific datanode.

@@ -75,6 +75,24 @@ func (dn *DataNode) flush(b BlockID, data []byte, sums []uint32) error {
 	return nil
 }
 
+// replace overwrites an existing replica's data and checksum files — the
+// datanode side of adaptive reorganization: the block's rows are unchanged
+// but their order (and the attached index) differ, so the files are
+// rewritten wholesale. Unlike flush it requires the replica to exist.
+func (dn *DataNode) replace(b BlockID, data []byte, sums []uint32) error {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if !dn.alive {
+		return fmt.Errorf("hdfs: datanode %d is dead", dn.id)
+	}
+	if _, ok := dn.replicas[b]; !ok {
+		return fmt.Errorf("hdfs: datanode %d has no replica of block %d to replace", dn.id, b)
+	}
+	dn.replicas[b] = storedReplica{data: append([]byte(nil), data...), sums: append([]uint32(nil), sums...)}
+	dn.bytesFlushed += int64(len(data)) + int64(4*len(sums))
+	return nil
+}
+
 // Read returns a verified copy of the replica's bytes. Reads check the
 // stored checksum file, mirroring HDFS's read-path verification.
 func (dn *DataNode) Read(b BlockID) ([]byte, error) {

@@ -118,6 +118,22 @@ func (nn *NameNode) GetHostsWithIndex(b BlockID, column int) []NodeID {
 	return out
 }
 
+// UpdateReplica replaces Dir_rep's entry for an existing replica — the
+// namenode side of adaptive index creation: when a datanode reorganizes a
+// replica (sorts it and adds a clustered index) after the initial upload,
+// it reports the new sort order and index metadata here. Unlike
+// RegisterReplica it refuses to invent a replica that was never uploaded.
+func (nn *NameNode) UpdateReplica(b BlockID, node NodeID, info ReplicaInfo) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	key := repKey{b, node}
+	if _, ok := nn.reps[key]; !ok {
+		return fmt.Errorf("hdfs: node %d holds no replica of block %d", node, b)
+	}
+	nn.reps[key] = info
+	return nil
+}
+
 // ReplicaInfo returns Dir_rep's entry for (block, node).
 func (nn *NameNode) ReplicaInfo(b BlockID, node NodeID) (ReplicaInfo, bool) {
 	nn.mu.RLock()

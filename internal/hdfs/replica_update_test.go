@@ -1,0 +1,110 @@
+package hdfs
+
+import "testing"
+
+// The adaptive indexer's storage primitives: updating Dir_rep for an
+// existing replica, replacing a replica's bytes in place, and storing an
+// additional replica outside the upload pipeline.
+
+func TestUpdateReplica(t *testing.T) {
+	nn := NewNameNode()
+	if err := nn.UpdateReplica(7, 1, ReplicaInfo{SortColumn: 2, HasIndex: true}); err == nil {
+		t.Fatal("UpdateReplica invented a replica that was never registered")
+	}
+	nn.RegisterReplica(7, 1, ReplicaInfo{SortColumn: -1})
+	if err := nn.UpdateReplica(7, 1, ReplicaInfo{SortColumn: 2, HasIndex: true, IndexSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := nn.ReplicaInfo(7, 1)
+	if !ok || !info.HasIndex || info.SortColumn != 2 || info.IndexSize != 64 {
+		t.Errorf("ReplicaInfo after update = %+v", info)
+	}
+	// Dir_block is untouched: still exactly one host.
+	if hosts := nn.GetHosts(7); len(hosts) != 1 || hosts[0] != 1 {
+		t.Errorf("GetHosts after update = %v, want [1]", hosts)
+	}
+	if got := nn.GetHostsWithIndex(7, 2); len(got) != 1 {
+		t.Errorf("GetHostsWithIndex(7,2) = %v, want the updated node", got)
+	}
+}
+
+func TestReplaceReplica(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte("original block payload with enough bytes to checksum")
+	id, _, err := c.WriteBlock("/f", orig, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := c.NameNode().GetHosts(id)[0]
+
+	reorg := []byte("reorganized: same rows in a different order plus index")
+	if err := c.ReplaceReplica(id, node, reorg, ReplicaInfo{SortColumn: 1, HasIndex: true, IndexSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadBlockFrom(node, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(reorg) {
+		t.Errorf("read %q after replace, want the reorganized bytes", got)
+	}
+	info, _ := c.NameNode().ReplicaInfo(id, node)
+	if !info.HasIndex || info.SortColumn != 1 || info.Size != len(reorg) {
+		t.Errorf("ReplicaInfo after replace = %+v", info)
+	}
+	if c.NameNode().ReplicaCount(id) != 2 {
+		t.Errorf("replica count changed by in-place replace")
+	}
+
+	// Replacing a replica a node does not hold must fail.
+	var free NodeID = -1
+	for n := NodeID(0); int(n) < c.NumNodes(); n++ {
+		dn, _ := c.DataNode(n)
+		if !dn.HasReplica(id) {
+			free = n
+			break
+		}
+	}
+	if free == -1 {
+		t.Fatal("no free node in 3-node cluster with replication 2")
+	}
+	if err := c.ReplaceReplica(id, free, reorg, ReplicaInfo{}); err == nil {
+		t.Error("ReplaceReplica succeeded on a node without the replica")
+	}
+}
+
+func TestStoreAdditionalReplica(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("a block that will gain an extra indexed replica")
+	id, _, err := c.WriteBlock("/f", data, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var free NodeID = -1
+	for n := NodeID(0); int(n) < c.NumNodes(); n++ {
+		dn, _ := c.DataNode(n)
+		if !dn.HasReplica(id) {
+			free = n
+			break
+		}
+	}
+	if err := c.StoreAdditionalReplica(id, free, data, ReplicaInfo{SortColumn: 0, HasIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	if c.NameNode().ReplicaCount(id) != 3 {
+		t.Errorf("replica count = %d, want 3", c.NameNode().ReplicaCount(id))
+	}
+	if got := c.NameNode().GetHostsWithIndex(id, 0); len(got) != 1 || got[0] != free {
+		t.Errorf("GetHostsWithIndex = %v, want [%d]", got, free)
+	}
+	// Duplicate store on the same node must fail.
+	if err := c.StoreAdditionalReplica(id, free, data, ReplicaInfo{}); err == nil {
+		t.Error("duplicate StoreAdditionalReplica succeeded")
+	}
+}

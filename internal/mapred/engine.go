@@ -74,6 +74,12 @@ type Engine struct {
 	// (done, total). The fault-tolerance experiment uses it to kill a
 	// node at 50% progress (§6.4.3).
 	OnProgress func(done, total int)
+	// PostTask, if set, runs on the worker goroutine after each
+	// successful task, while the task still occupies its execution slot.
+	// The adaptive indexer hooks in here to sort and index blocks the
+	// task just scanned, so index creation overlaps the execution of the
+	// job's remaining tasks instead of serializing after it.
+	PostTask func(TaskReport)
 }
 
 // Run executes the job: split phase, map phase with locality scheduling
@@ -117,6 +123,9 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			defer func() { <-sem }()
 			report, kvs, err := e.runTask(job, taskID, splits[taskID], assignments[taskID])
 			outcomes[taskID] = taskOutcome{report, kvs, err}
+			if err == nil && e.PostTask != nil {
+				e.PostTask(report)
+			}
 			progressMu.Lock()
 			done++
 			d := done
