@@ -302,6 +302,23 @@ func BenchmarkFigAdaptive(b *testing.B) {
 	})
 }
 
+// --- Block-level result cache (hot/cold/invalidation trajectory) ---
+
+func BenchmarkFigCache(b *testing.B) {
+	benchFigure(b, "FigCache", func() (*experiments.Figure, error) {
+		rep, err := benchRunner().ExpCache(experiments.UserVisits, 6, 0, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Figure(), nil
+	}, func(f *experiments.Figure) {
+		metric(b, f, "map work [s]", "job1", "cold_work_s")
+		metric(b, f, "map work [s]", "job2", "hot_work_s")
+		metric(b, f, "cache hits [%]", "job2", "hot_hit_pct")
+		metric(b, f, "runtime [s]", "job6", "job6_s")
+	})
+}
+
 // --- Related work (§5): full-text indexing comparison ---
 
 func BenchmarkSection5FullTextComparison(b *testing.B) {

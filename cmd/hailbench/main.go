@@ -1,10 +1,11 @@
 // Command hailbench regenerates the paper's tables and figures, plus the
-// adaptive-indexing trajectory experiment.
+// adaptive-indexing and result-cache trajectory experiments.
 //
 // Usage:
 //
-//	hailbench [-quick] [-only Fig4a,Fig6a,...]
-//	hailbench [-quick] -adaptive [-offer-rate 0.25] [-jobs 8] [-workload Synthetic]
+//	hailbench [-quick] [-only Fig4a,Fig6a,...] [-json out.json]
+//	hailbench [-quick] -adaptive [-offer-rate 0.25] [-jobs 8] [-workload Synthetic] [-adaptive-budget N]
+//	hailbench [-quick] -cache [-cache-budget N] [-offer-rate 0.25] [-jobs 6] [-workload UserVisits]
 //
 // With no flags it runs every paper experiment at full fidelity (~64
 // partitions per block), printing each figure as an aligned table of
@@ -17,9 +18,20 @@
 // bounded fraction (-offer-rate) of the remaining unindexed blocks during
 // each job, so job 1 pays a small penalty and jobs 2..k speed up until
 // every block is index-scanned.
+//
+// -cache runs the block-level result-cache trajectory: a cold job
+// populates the cache, an identical hot job answers its blocks from it,
+// then the adaptive indexer is switched on so its replica conversions
+// invalidate affected entries — every job verified result-equivalent to
+// uncached execution.
+//
+// -json writes the run's report (figures, adaptive or cache trajectory)
+// as JSON to the given path — CI uploads these as BENCH_*.json artifacts
+// to accumulate the perf trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,7 +41,9 @@ import (
 	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/qcache"
 )
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -38,9 +52,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	quick := fs.Bool("quick", false, "use small fixtures (faster, coarser index granularity)")
 	only := fs.String("only", "", "comma-separated experiment IDs (e.g. Fig4a,Fig6a)")
 	adaptiveMode := fs.Bool("adaptive", false, "run the adaptive-indexing experiment")
-	offerRate := fs.Float64("offer-rate", 0.25, "adaptive: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
-	jobs := fs.Int("jobs", 8, "adaptive: number of identical jobs in the sequence")
-	workloadName := fs.String("workload", "UserVisits", "adaptive: workload (UserVisits or Synthetic)")
+	cacheMode := fs.Bool("cache", false, "run the result-cache trajectory experiment")
+	offerRate := fs.Float64("offer-rate", 0.25, "adaptive/cache: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
+	jobs := fs.Int("jobs", 8, "adaptive/cache: number of identical jobs in the sequence")
+	workloadName := fs.String("workload", "UserVisits", "adaptive/cache: workload (UserVisits or Synthetic)")
+	adaptiveBudget := fs.Int64("adaptive-budget", 0, "adaptive/cache: cap on extra replica bytes adaptive builds may store (0 = unlimited)")
+	cacheBudget := fs.Int64("cache-budget", qcache.DefaultBudget, "cache: byte budget for cached block results")
+	jsonPath := fs.String("json", "", "write the run's report as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -54,25 +72,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		r = experiments.NewQuickRunner()
 	}
 
-	// The adaptive experiment and the paper-figure list are separate
-	// modes; reject combinations that would silently ignore a flag.
-	if *adaptiveMode && *only != "" {
-		return fmt.Errorf("%w: -adaptive and -only are mutually exclusive", errUsage)
+	// The adaptive/cache experiments and the paper-figure list are
+	// separate modes; reject combinations that would silently ignore a
+	// flag.
+	if *adaptiveMode && *cacheMode {
+		return fmt.Errorf("%w: -adaptive and -cache are mutually exclusive", errUsage)
 	}
-	if !*adaptiveMode {
-		var stray []string
-		fs.Visit(func(fl *flag.Flag) {
-			switch fl.Name {
-			case "offer-rate", "jobs", "workload":
-				stray = append(stray, "-"+fl.Name)
-			}
-		})
-		if len(stray) > 0 {
-			return fmt.Errorf("%w: %s only applies with -adaptive", errUsage, strings.Join(stray, ", "))
+	if (*adaptiveMode || *cacheMode) && *only != "" {
+		return fmt.Errorf("%w: -only does not combine with -adaptive or -cache", errUsage)
+	}
+	if !*adaptiveMode && !*cacheMode {
+		if stray := cliutil.Stray(fs, "offer-rate", "jobs", "workload", "adaptive-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -adaptive or -cache", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if !*cacheMode {
+		if stray := cliutil.Stray(fs, "cache-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -cache", errUsage, strings.Join(stray, ", "))
 		}
 	}
 
-	if *adaptiveMode {
+	// writeJSON persists the run's report for the CI perf-trajectory
+	// artifact.
+	writeJSON := func(v any) error {
+		if *jsonPath == "" {
+			return nil
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+	}
+
+	if *adaptiveMode || *cacheMode {
 		w := experiments.UserVisits
 		switch strings.ToLower(*workloadName) {
 		case "uservisits":
@@ -81,14 +114,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		default:
 			return fmt.Errorf("unknown workload %q (want UserVisits or Synthetic)", *workloadName)
 		}
+		r.AdaptiveBudget = *adaptiveBudget
 		start := time.Now()
+		if *cacheMode {
+			rep, err := r.ExpCache(w, *jobs, *cacheBudget, adaptive.RateFromFlag(*offerRate))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprintf(stdout, "(FigCache computed in %.1fs real time)\n", time.Since(start).Seconds())
+			return writeJSON(rep)
+		}
 		rep, err := r.ExpAdaptive(w, *jobs, adaptive.RateFromFlag(*offerRate))
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, rep)
 		fmt.Fprintf(stdout, "(FigAdaptive computed in %.1fs real time)\n", time.Since(start).Seconds())
-		return nil
+		return writeJSON(rep)
 	}
 
 	type exp struct {
@@ -112,6 +155,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	failed := false
+	var figures []*experiments.Figure
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
@@ -123,13 +167,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			failed = true
 			continue
 		}
+		figures = append(figures, fig)
 		fmt.Fprintln(stdout, fig)
 		fmt.Fprintf(stdout, "(%s computed in %.1fs real time)\n\n", e.id, time.Since(start).Seconds())
 	}
 	if failed {
 		return fmt.Errorf("some experiments failed")
 	}
-	return nil
+	return writeJSON(figures)
 }
 
 // errUsage marks usage errors, which exit with status 2 (the Unix

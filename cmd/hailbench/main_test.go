@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 // TestBenchAdaptiveSmoke drives the bench main path end to end: a quick
@@ -35,5 +40,69 @@ func TestBenchBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-jobs", "3"}, &out, &errb); err == nil {
 		t.Fatal("run accepted -jobs without -adaptive")
+	}
+}
+
+// TestBenchCacheSmoke drives the result-cache trajectory end to end and
+// checks the JSON artifact side channel.
+func TestBenchCacheSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_cache.json")
+	var out, errb bytes.Buffer
+	err := run([]string{"-quick", "-cache", "-jobs", "4", "-offer-rate", "0.5", "-json", jsonPath}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FigCache", "cache hits [%]", "invalidated", "hot job answers"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	var rep experiments.CacheReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON artifact: %v", err)
+	}
+	if len(rep.Jobs) != 4 || rep.Jobs[1].HitRate < 0.9 {
+		t.Errorf("artifact trajectory implausible: %+v", rep.Jobs)
+	}
+}
+
+func TestBenchCacheBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-cache", "-adaptive"}, &out, &errb); err == nil {
+		t.Error("accepted -cache with -adaptive")
+	}
+	if err := run([]string{"-cache", "-only", "Fig4a"}, &out, &errb); err == nil {
+		t.Error("accepted -cache with -only")
+	}
+	if err := run([]string{"-cache-budget", "1024"}, &out, &errb); err == nil {
+		t.Error("accepted -cache-budget without -cache")
+	}
+}
+
+// TestBenchJSONFigures: -json also captures figure-mode runs.
+func TestBenchJSONFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure fixture too slow for -short")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_figs.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-quick", "-only", "Fig4a", "-json", jsonPath}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	var figs []*experiments.Figure
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &figs); err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || figs[0].ID != "Fig4a" {
+		t.Errorf("artifact figures = %+v, want one Fig4a", figs)
 	}
 }

@@ -5,7 +5,8 @@
 //
 //	hailquery -fs /tmp/hailfs -name /logs/uv \
 //	          -q '@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})' \
-//	          [-splitting] [-adaptive] [-offer-rate 0.25] [-stats] [-limit 20]
+//	          [-splitting] [-adaptive] [-offer-rate 0.25] [-adaptive-budget N] \
+//	          [-cache] [-cache-budget N] [-stats] [-limit 20]
 //
 // The job uses the HailInputFormat: if some replica of each block carries
 // a clustered index matching the filter attribute, the record reader
@@ -16,7 +17,18 @@
 // block is indexed on the filter attribute, up to -offer-rate of those
 // blocks are sorted and indexed as a by-product of this very query, the
 // new replicas are saved back into the filesystem directory, and repeated
-// invocations converge to all-index-scan execution.
+// invocations converge to all-index-scan execution. -adaptive-budget
+// caps the extra bytes those conversions may store (0 = unlimited).
+// Only newly built replicas are persisted — saves are incremental.
+//
+// -cache enables the block-level result cache (-cache-budget bytes): each
+// block's map output is admitted keyed by (block, replica generation,
+// normalized query, projection), and blocks whose exact work was already
+// done are answered without touching storage. Within one hailquery
+// process this shows as per-block hits when splits revisit blocks; its
+// main consumers are the engine-embedded uses (hailbench -cache shows
+// the cross-job trajectory). Replica changes — adaptive builds, node
+// loss — invalidate affected entries via the namenode's change hook.
 package main
 
 import (
@@ -28,12 +40,15 @@ import (
 	"strings"
 
 	"repro/internal/adaptive"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hdfs"
 	"repro/internal/mapred"
 	"repro/internal/pax"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/workload"
 )
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -45,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	splitting := fs.Bool("splitting", false, "enable the HailSplitting policy")
 	adaptiveMode := fs.Bool("adaptive", false, "build missing indexes as a by-product of this query")
 	offerRate := fs.Float64("offer-rate", 0.25, "adaptive: fraction of unindexed blocks converted per query (0 = observe demand only, build nothing)")
+	adaptiveBudget := fs.Int64("adaptive-budget", 0, "adaptive: cap on extra replica bytes adaptive builds may store (0 = unlimited)")
+	cacheMode := fs.Bool("cache", false, "enable the block-level result cache for this job")
+	cacheBudget := fs.Int64("cache-budget", qcache.DefaultBudget, "cache: byte budget for cached block results")
 	stats := fs.Bool("stats", false, "print access-path statistics")
 	limit := fs.Int("limit", 20, "max result rows to print (0 = all)")
 	if err := fs.Parse(args); err != nil {
@@ -60,14 +78,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%w: missing required -fs or -q", errUsage)
 	}
 	if !*adaptiveMode {
-		var stray []string
-		fs.Visit(func(fl *flag.Flag) {
-			if fl.Name == "offer-rate" {
-				stray = append(stray, "-"+fl.Name)
-			}
-		})
-		if len(stray) > 0 {
+		if stray := cliutil.Stray(fs, "offer-rate", "adaptive-budget"); len(stray) > 0 {
 			return fmt.Errorf("%w: %s only applies with -adaptive", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if !*cacheMode {
+		if stray := cliutil.Stray(fs, "cache-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -cache", errUsage, strings.Join(stray, ", "))
 		}
 	}
 
@@ -89,19 +106,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var idx *adaptive.Indexer
 	if *adaptiveMode {
 		idx = adaptive.New(cluster, adaptive.RateFromFlag(*offerRate))
+		idx.BudgetBytes = *adaptiveBudget
 		input.Adaptive = idx
 		engine.PostTask = idx.AfterTask
 	}
+	var cache *qcache.Cache
+	if *cacheMode {
+		cache = qcache.New(*cacheBudget)
+		engine.Cache = cache
+		cluster.NameNode().SetReplicaChangeHook(cache.InvalidateBlock)
+	}
 	res, err := engine.Run(&mapred.Job{
-		Name:  "hailquery",
-		File:  *name,
-		Input: input,
-		Map: func(r mapred.Record, emit mapred.Emit) {
-			if r.Bad {
-				return
-			}
-			emit(r.Row.Line(','), "")
-		},
+		Name:   "hailquery",
+		File:   *name,
+		Input:  input,
+		Map:    workload.PassthroughMap,
+		MapSig: workload.PassthroughMapSig, // required for the result cache to engage
 	})
 	if err != nil {
 		return err
@@ -121,6 +141,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			st.IndexScans, st.FullScans,
 			float64(st.BytesRead)/1e6, float64(st.IndexBytesRead)/1e3, st.Seeks)
 	}
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Fprintf(stdout, "-- cache: %d hits, %d misses, %d entries (%.1f KB of %.1f MB budget), %d evicted, %d invalidated, %d rejected, %.1f KB reads saved\n",
+			cs.Hits, cs.Misses, cs.Entries,
+			float64(cs.Bytes)/1e3, float64(cs.Budget)/1e6,
+			cs.Evictions, cs.Invalidations, cs.Rejected, float64(cs.BytesSaved)/1e3)
+	}
 	if idx != nil {
 		plan := idx.LastJob()
 		if plan.Built > 0 {
@@ -139,6 +166,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 				plan.Built, plan.ReplicasAdded, plan.ReplicasReplaced)
 			if plan.Skipped > 0 {
 				fmt.Fprintf(stdout, "-- adaptive: %d blocks skipped (no node can hold another replica)\n", plan.Skipped)
+			}
+			if plan.BudgetDenied > 0 {
+				fmt.Fprintf(stdout, "-- adaptive: %d builds denied (extra storage %.1f KB at the %.1f KB budget)\n",
+					plan.BudgetDenied, float64(idx.ExtraBytes())/1e3, float64(idx.BudgetBytes)/1e3)
 			}
 		}
 		if err := idx.LastErr(); err != nil {

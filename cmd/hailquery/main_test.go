@@ -122,3 +122,56 @@ func rowCount(t *testing.T, out string) int {
 	t.Fatalf("no row-count line in output:\n%s", out)
 	return -1
 }
+
+// TestQueryCacheSmoke: -cache runs the job through the result cache and
+// reports its stats; results are unchanged.
+func TestQueryCacheSmoke(t *testing.T) {
+	dir := makeFS(t, 700)
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@1 = 3", projection={@2})`,
+		"-cache", "-cache-budget", "1048576", "-limit", "1",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "100 rows") {
+		t.Errorf("cached run changed the result:\n%s", s)
+	}
+	if !strings.Contains(s, "-- cache:") || !strings.Contains(s, "misses") {
+		t.Errorf("missing cache stats line:\n%s", s)
+	}
+}
+
+// TestQueryAdaptiveBudgetDeniesBuilds: a tiny -adaptive-budget lets the
+// first conversion through and then refuses the rest.
+func TestQueryAdaptiveBudgetDeniesBuilds(t *testing.T) {
+	dir := makeFS(t, 700)
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@3 between(2,5)", projection={@1})`,
+		"-adaptive", "-offer-rate", "1", "-adaptive-budget", "1", "-limit", "1",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "builds denied") {
+		t.Errorf("tiny budget denied nothing:\n%s", s)
+	}
+}
+
+func TestQueryCacheFlagValidation(t *testing.T) {
+	dir := makeFS(t, 100)
+	base := []string{"-fs", dir, "-name", "/t", "-q", `@HailQuery(filter="@1 = 3")`}
+	var out, errb bytes.Buffer
+	if err := run(append(base, "-cache-budget", "1024"), &out, &errb); err == nil {
+		t.Error("accepted -cache-budget without -cache")
+	}
+	if err := run(append(base, "-adaptive-budget", "1024"), &out, &errb); err == nil {
+		t.Error("accepted -adaptive-budget without -adaptive")
+	}
+}

@@ -70,7 +70,10 @@ type JobPlan struct {
 	// (every alive node already holds one and none is unsorted) — a
 	// capacity condition, not an error; they stay full-scan.
 	Skipped int
-	Failed  int
+	// BudgetDenied counts blocks whose conversion was refused because the
+	// indexer's extra-storage budget (BudgetBytes) is exhausted.
+	BudgetDenied int
+	Failed       int
 	// Real measured build volume, for the cost model.
 	SortedBytes int64 // PAX bytes sorted and rewritten
 	IndexBytes  int64 // index bytes created
@@ -87,11 +90,20 @@ type Indexer struct {
 	// any block misses. 0 defaults to DefaultOfferRate; negative disables
 	// conversion (the ledger still records demand).
 	OfferRate float64
+	// BudgetBytes caps the extra storage adaptive conversions may
+	// consume, summed across all jobs: a replica added on a free node
+	// counts its full stored size, an in-place replacement only its
+	// growth (the index). 0 means unbounded. Once the cap is reached the
+	// offer loop refuses further builds (JobPlan.BudgetDenied) instead of
+	// growing without bound; the last build before the cap may overshoot
+	// it by at most one replica.
+	BudgetBytes int64
 
 	mu      sync.Mutex
 	ledger  *Ledger
 	pending map[hdfs.BlockID]pendingBuild
 	job     JobPlan
+	extra   int64 // extra storage consumed so far, against BudgetBytes
 	lastErr error
 }
 
@@ -149,6 +161,13 @@ func (i *Indexer) ObserveJob(file string, column int, indexed, missing []hdfs.Bl
 			offer = len(missing)
 		}
 	}
+	denied := 0
+	if offer > 0 && i.BudgetBytes > 0 && i.extra >= i.BudgetBytes {
+		// Extra-storage budget exhausted: keep recording demand, build
+		// nothing more.
+		denied = offer
+		offer = 0
+	}
 	// Deterministic selection: lowest block IDs first.
 	sel := append([]hdfs.BlockID(nil), missing...)
 	sort.Slice(sel, func(a, b int) bool { return sel[a] < sel[b] })
@@ -159,6 +178,7 @@ func (i *Indexer) ObserveJob(file string, column int, indexed, missing []hdfs.Bl
 	i.job = JobPlan{
 		File: file, Column: column,
 		Indexed: len(indexed), Missing: len(missing), Offered: offer,
+		BudgetDenied: denied,
 	}
 	i.lastErr = nil // errors are per job, like the plan
 }
@@ -190,6 +210,14 @@ func (i *Indexer) LastJob() JobPlan {
 	return i.job
 }
 
+// ExtraBytes returns the extra storage adaptive conversions have consumed
+// so far — the quantity BudgetBytes caps.
+func (i *Indexer) ExtraBytes() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.extra
+}
+
 // LastErr returns the most recent build error, if any.
 func (i *Indexer) LastErr() error {
 	i.mu.Lock()
@@ -207,6 +235,20 @@ func (i *Indexer) buildOne(file string, b hdfs.BlockID, col int, near hdfs.NodeI
 		i.job.Failed++
 		i.lastErr = fmt.Errorf("adaptive: block %d column %d: %v", b, col, err)
 		i.mu.Unlock()
+	}
+
+	// Builds earlier in this very job may have exhausted the budget since
+	// the offer was made; re-check before paying for anything.
+	if i.BudgetBytes > 0 {
+		i.mu.Lock()
+		over := i.extra >= i.BudgetBytes
+		if over {
+			i.job.BudgetDenied++
+		}
+		i.mu.Unlock()
+		if over {
+			return
+		}
 	}
 
 	// Choose the placement before paying for the read and sort: on a
@@ -243,12 +285,44 @@ func (i *Indexer) buildOne(file string, b hdfs.BlockID, col int, near hdfs.NodeI
 		return
 	}
 
+	// Extra-storage accounting: a replacement rewrites bytes that were
+	// already stored, so only its growth (the attached index) counts
+	// against the budget; an added replica counts in full.
+	extraDelta := int64(len(framed))
+	if replace {
+		if dn, dnErr := i.Cluster.DataNode(target); dnErr == nil {
+			if old := dn.ReplicaSize(b); old >= 0 {
+				extraDelta -= int64(old)
+			}
+		}
+		if extraDelta < 0 {
+			extraDelta = 0
+		}
+	}
+
+	// Reserve the delta atomically with the budget check: parallel
+	// PostTask workers all build concurrently, and a check-then-store
+	// window would let every in-flight build pass while extra is still
+	// under the cap. Reserving caps the overshoot at one replica per
+	// budget crossing; the reservation is released if the store fails.
+	i.mu.Lock()
+	if i.BudgetBytes > 0 && i.extra >= i.BudgetBytes {
+		i.job.BudgetDenied++
+		i.mu.Unlock()
+		return
+	}
+	i.extra += extraDelta
+	i.mu.Unlock()
+
 	if replace {
 		err = i.Cluster.ReplaceReplica(b, target, framed, info)
 	} else {
 		err = i.Cluster.StoreAdditionalReplica(b, target, framed, info)
 	}
 	if err != nil {
+		i.mu.Lock()
+		i.extra -= extraDelta
+		i.mu.Unlock()
 		fail(err)
 		return
 	}

@@ -3,6 +3,7 @@ package adaptive
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -313,5 +314,143 @@ func TestObserveOnlyWhenDisabled(t *testing.T) {
 	}
 	if d, ok := idx.Ledger().Demand(file, 2); !ok || d.Blocks != plan.Missing {
 		t.Errorf("ledger demand = %+v, want %d blocks recorded", d, plan.Missing)
+	}
+}
+
+// TestBudgetCapsExtraStorage: with a byte budget roughly one replica
+// wide, the indexer converts until the cap and then refuses further
+// builds (BudgetDenied) instead of growing unboundedly.
+func TestBudgetCapsExtraStorage(t *testing.T) {
+	// All replicas sorted (on a and b): every conversion must add a
+	// replica, so each build costs a full block against the budget.
+	cluster, file := upload(t, 8, 2_000, []int{0, 1})
+	idx := New(cluster, 1.0)
+
+	// Discover a typical stored replica size from block 0.
+	blocks, err := cluster.NameNode().FileBlocks(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := cluster.NameNode().GetHosts(blocks[0])[0]
+	data, err := cluster.ReadBlockFrom(node, blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := int64(len(data))
+	idx.BudgetBytes = blockSize + blockSize/2 // room for ~1 replica, then deny
+
+	var denied, built int
+	for j := 0; j < 4; j++ {
+		runJob(t, cluster, file, idx)
+		plan := idx.LastJob()
+		built += plan.Built
+		denied += plan.BudgetDenied
+	}
+	if built == 0 {
+		t.Fatal("budget prevented every build; want at least one under the cap")
+	}
+	if denied == 0 {
+		t.Fatal("no builds denied despite an exhausted budget")
+	}
+	// Overshoot is bounded by one replica.
+	if extra := idx.ExtraBytes(); extra > idx.BudgetBytes+2*blockSize {
+		t.Errorf("extra storage %d far exceeds budget %d", extra, idx.BudgetBytes)
+	}
+	if got := idx.ExtraBytes(); got == 0 {
+		t.Error("ExtraBytes = 0 after successful builds")
+	}
+}
+
+// TestBudgetUnlimitedByDefault: BudgetBytes == 0 never denies.
+func TestBudgetUnlimitedByDefault(t *testing.T) {
+	cluster, file := upload(t, 8, 1_200, []int{0, -1})
+	idx := New(cluster, 1.0)
+	for j := 0; j < 3; j++ {
+		runJob(t, cluster, file, idx)
+		if d := idx.LastJob().BudgetDenied; d != 0 {
+			t.Fatalf("job %d denied %d builds with no budget set", j+1, d)
+		}
+	}
+}
+
+// TestLedgerConcurrentStress is the -race satellite for the demand
+// ledger: misses, builds and reads race from many goroutines, as they do
+// when parallel PostTask callbacks record builds while a split phase
+// records the next job's misses.
+func TestLedgerConcurrentStress(t *testing.T) {
+	l := NewLedger()
+	const workers = 8
+	const ops = 1500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				b := hdfs.BlockID((seed + i) % 17)
+				col := (seed + i) % 3
+				switch i % 5 {
+				case 0:
+					l.RecordBuilt("/f", b, col)
+				case 1:
+					_, _ = l.Demand("/f", col)
+				case 2:
+					_ = l.Demands("/f")
+				default:
+					l.RecordMiss("/f", b, col)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, d := range l.Demands("/f") {
+		if d.Blocks > 17 || d.Built > d.Blocks {
+			t.Errorf("implausible demand after stress: %+v", d)
+		}
+		if d.Misses == 0 {
+			t.Errorf("column %d lost all its misses", d.Column)
+		}
+	}
+}
+
+// TestIndexerConcurrentAfterTask races AfterTask callbacks (as the engine
+// fires them from parallel workers) against ledger reads.
+func TestIndexerConcurrentAfterTask(t *testing.T) {
+	cluster, file := upload(t, 8, 2_000, []int{0, -1})
+	idx := New(cluster, 1.0)
+	engine := &mapred.Engine{Cluster: cluster, PostTask: idx.AfterTask, Parallelism: 8}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = idx.Ledger().Demands(file)
+				_ = idx.LastJob()
+			}
+		}
+	}()
+	res, err := engine.Run(&mapred.Job{
+		Name:  "race",
+		File:  file,
+		Input: &core.InputFormat{Cluster: cluster, Query: cQuery(), Adaptive: idx},
+		Map: func(r mapred.Record, emit mapred.Emit) {
+			if !r.Bad {
+				emit(r.Row.Line(','), "")
+			}
+		},
+	})
+	done <- struct{}{}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.LastErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) == 0 {
+		t.Fatal("no output from race job")
 	}
 }

@@ -1,0 +1,22 @@
+// Package cliutil holds small helpers shared by the cmd/ front-ends.
+package cliutil
+
+import "flag"
+
+// Stray returns (with a "-" prefix) the names of the given flags that
+// were explicitly set on the command line. The commands use it to reject
+// mode-restricted flags outside their mode instead of silently ignoring
+// them.
+func Stray(fs *flag.FlagSet, names ...string) []string {
+	owned := make(map[string]bool, len(names))
+	for _, n := range names {
+		owned[n] = true
+	}
+	var stray []string
+	fs.Visit(func(fl *flag.Flag) {
+		if owned[fl.Name] {
+			stray = append(stray, "-"+fl.Name)
+		}
+	})
+	return stray
+}

@@ -522,3 +522,66 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Error("truncated frame accepted")
 	}
 }
+
+// TestOpenBlockMatchesWholeSplitRead: reading a split block by block via
+// OpenBlock must deliver exactly what Open's whole-split reader delivers,
+// in the same order — the invariant the engine's result-cache path
+// depends on for byte-identical output.
+func TestOpenBlockMatchesWholeSplitRead(t *testing.T) {
+	cluster, _, _, _ := uvFixture(t, 3_000, workload.UserVisitsOptions{})
+	q := &query.Query{
+		Filter: []query.Predicate{
+			query.Between(workload.UVVisitDate,
+				schema.DateVal(schema.MustDate("1999-01-01")),
+				schema.DateVal(schema.MustDate("2000-06-01"))),
+		},
+		Projection: []int{workload.UVSourceIP, workload.UVAdRevenue},
+	}
+	f := &InputFormat{Cluster: cluster, Query: q, Splitting: true, SplitsPerNode: 2}
+	if _, ok := any(f).(mapred.QuerySigner); !ok {
+		t.Fatal("InputFormat must implement mapred.QuerySigner")
+	}
+	if _, ok := any(f).(mapred.BlockOpener); !ok {
+		t.Fatal("InputFormat must implement mapred.BlockOpener")
+	}
+	sig, ok := f.QuerySignature()
+	if !ok || sig == "" {
+		t.Fatalf("QuerySignature = %q, %v", sig, ok)
+	}
+
+	splits, err := f.Splits("/uv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(rr mapred.RecordReader) []string {
+		var rows []string
+		if _, err := rr.Read(func(r mapred.Record) { rows = append(rows, r.Row.Line(',')) }); err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	for _, split := range splits {
+		node := split.Locations[0]
+		whole, err := f.Open(split, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := read(whole)
+		var got []string
+		for _, b := range split.Blocks {
+			rr, err := f.OpenBlock(split, b, node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, read(rr)...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("per-block read %d rows, whole split %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d: per-block %q, whole-split %q", i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -114,6 +114,10 @@ type Runner struct {
 	SynBlockRows int
 	Seed         int64
 	Nodes        int // real cluster size (also the simulated node count)
+	// AdaptiveBudget caps the adaptive indexer's extra storage in the
+	// adaptive and cache experiments (0 = unbounded), mirroring the
+	// CLIs' -adaptive-budget flag.
+	AdaptiveBudget int64
 
 	mu       sync.Mutex
 	fixtures map[string]*fixture

@@ -32,6 +32,58 @@ type Cluster struct {
 	dns       []*DataNode
 	nextBlock BlockID
 	cursor    int // round-robin placement cursor
+
+	// Incremental-save state: which replicas changed since the last Save,
+	// and which directory that save targeted (a different target forces a
+	// full rewrite). Guarded by saveMu, not mu — saves must not block
+	// uploads. saveOpMu serializes whole Save calls: two concurrent saves
+	// to different directories would otherwise race on consuming the
+	// dirty set and the savedTo transition, letting one of them skip a
+	// changed replica.
+	saveOpMu sync.Mutex
+	saveMu   sync.Mutex
+	dirty    map[repKey]bool
+	savedTo  string
+	lastSave SaveReport
+}
+
+// dirtyLocked records that a replica's stored bytes changed since the
+// last Save, so the next Save rewrites (only) it. Caller holds saveMu.
+func (c *Cluster) dirtyLocked(b BlockID, node NodeID) {
+	if c.dirty == nil {
+		c.dirty = make(map[repKey]bool)
+	}
+	c.dirty[repKey{b, node}] = true
+}
+
+// registerReplicaDirty registers a new replica and marks it dirty as one
+// atomic step under saveMu. Save consumes the dirty set and snapshots the
+// namenode under the same lock, so it can never observe the registration
+// without its dirty mark — the interleaving that would persist a manifest
+// entry while skipping the replica's changed bytes. The replica-change
+// hook fires after saveMu is released, so hooks may safely call back
+// into the save API.
+func (c *Cluster) registerReplicaDirty(b BlockID, node NodeID, info ReplicaInfo) {
+	c.saveMu.Lock()
+	fn := c.nn.registerReplicaNoNotify(b, node, info)
+	c.dirtyLocked(b, node)
+	c.saveMu.Unlock()
+	c.nn.notifyChanged(fn, b)
+}
+
+// updateReplicaDirty is registerReplicaDirty's counterpart for in-place
+// replica updates (adaptive conversions).
+func (c *Cluster) updateReplicaDirty(b BlockID, node NodeID, info ReplicaInfo) error {
+	c.saveMu.Lock()
+	fn, err := c.nn.updateReplicaNoNotify(b, node, info)
+	if err != nil {
+		c.saveMu.Unlock()
+		return err
+	}
+	c.dirtyLocked(b, node)
+	c.saveMu.Unlock()
+	c.nn.notifyChanged(fn, b)
+	return nil
 }
 
 // NewCluster creates a cluster with n datanodes (IDs 0..n-1).
@@ -72,12 +124,29 @@ func (c *Cluster) AliveNodes() []NodeID {
 }
 
 // KillNode takes a datanode down (fault-tolerance experiments, §6.4.3).
+// Every block with a replica on the node gets its generation bumped: its
+// readers will fail over to another replica (possibly sorted differently),
+// so cached per-block results computed before the loss must not be served.
 func (c *Cluster) KillNode(id NodeID) error {
 	dn, err := c.DataNode(id)
 	if err != nil {
 		return err
 	}
 	dn.Kill()
+	c.nn.InvalidateNode(id)
+	return nil
+}
+
+// ReviveNode brings a killed datanode back and bumps the generation of its
+// blocks — the node's replicas become readable again, which changes the
+// replica a reader would pick just as its loss did.
+func (c *Cluster) ReviveNode(id NodeID) error {
+	dn, err := c.DataNode(id)
+	if err != nil {
+		return err
+	}
+	dn.Revive()
+	c.nn.InvalidateNode(id)
 	return nil
 }
 
@@ -193,7 +262,7 @@ func (c *Cluster) WriteBlock(file string, data []byte, replication int, transfor
 		stats.ReplicaSizes = append(stats.ReplicaSizes, len(stored))
 		// The datanode informs the namenode about its new replica,
 		// including size, index and sort order (§3.2 steps 11 and 14).
-		c.nn.RegisterReplica(id, dn.ID(), info)
+		c.registerReplicaDirty(id, dn.ID(), info)
 		flushed = append(flushed, dn.ID())
 	}
 	if len(flushed) != replication {
@@ -223,7 +292,7 @@ func (c *Cluster) StoreAdditionalReplica(b BlockID, node NodeID, data []byte, in
 		return err
 	}
 	info.Size = len(data)
-	c.nn.RegisterReplica(b, node, info)
+	c.registerReplicaDirty(b, node, info)
 	return nil
 }
 
@@ -246,7 +315,7 @@ func (c *Cluster) ReplaceReplica(b BlockID, node NodeID, data []byte, info Repli
 		return err
 	}
 	info.Size = len(data)
-	return c.nn.UpdateReplica(b, node, info)
+	return c.updateReplicaDirty(b, node, info)
 }
 
 // ReadBlockFrom reads and verifies a replica from a specific datanode.

@@ -379,3 +379,76 @@ func TestEmptyBlockUpload(t *testing.T) {
 		t.Errorf("empty block read: %v bytes, %v", len(got), err)
 	}
 }
+
+// TestBlockGenerations: every replica-topology change a reader could
+// observe bumps the block's generation and fires the change hook — the
+// result cache's invalidation contract.
+func TestBlockGenerations(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := c.WriteBlock("/f", randBlock(9_000, 1), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := c.NameNode()
+	g0 := nn.Generation(id)
+	if g0 == 0 {
+		t.Error("upload registered replicas without bumping the generation")
+	}
+
+	var fired []BlockID
+	nn.SetReplicaChangeHook(func(b BlockID) { fired = append(fired, b) })
+
+	// In-place reorganization.
+	node := nn.GetHosts(id)[0]
+	if err := c.ReplaceReplica(id, node, randBlock(9_000, 2), ReplicaInfo{SortColumn: 1, HasIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	if g := nn.Generation(id); g != g0+1 {
+		t.Errorf("ReplaceReplica: generation %d, want %d", g, g0+1)
+	}
+
+	// Additional replica on a free node.
+	var free NodeID = -1
+	holders := make(map[NodeID]bool)
+	for _, h := range nn.GetHosts(id) {
+		holders[h] = true
+	}
+	for _, n := range c.AliveNodes() {
+		if !holders[n] {
+			free = n
+			break
+		}
+	}
+	if err := c.StoreAdditionalReplica(id, free, randBlock(9_000, 3), ReplicaInfo{SortColumn: 2, HasIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	if g := nn.Generation(id); g != g0+2 {
+		t.Errorf("StoreAdditionalReplica: generation %d, want %d", g, g0+2)
+	}
+
+	// Node loss and return both invalidate the node's blocks.
+	if err := c.KillNode(node); err != nil {
+		t.Fatal(err)
+	}
+	if g := nn.Generation(id); g != g0+3 {
+		t.Errorf("KillNode: generation %d, want %d", g, g0+3)
+	}
+	if err := c.ReviveNode(node); err != nil {
+		t.Fatal(err)
+	}
+	if g := nn.Generation(id); g != g0+4 {
+		t.Errorf("ReviveNode: generation %d, want %d", g, g0+4)
+	}
+
+	if len(fired) != 4 {
+		t.Errorf("change hook fired %d times (%v), want 4", len(fired), fired)
+	}
+	for _, b := range fired {
+		if b != id {
+			t.Errorf("change hook fired for block %d, want %d", b, id)
+		}
+	}
+}

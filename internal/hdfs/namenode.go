@@ -36,6 +36,17 @@ type NameNode struct {
 	files  map[string][]BlockID
 	blocks map[BlockID][]NodeID // Dir_block; insertion order = pipeline order
 	reps   map[repKey]ReplicaInfo
+	// gens counts replica-topology changes per block: any event that can
+	// alter which replica a reader would open — a new replica, an in-place
+	// reorganization, a node loss or return — bumps the block's
+	// generation. Block-level result-cache entries embed the generation
+	// they were computed at, so stale results become unreachable instead
+	// of being served.
+	gens map[BlockID]uint64
+	// onChange, if set, is called (outside the namenode lock) with each
+	// block whose generation was bumped — the result cache's active
+	// invalidation hook.
+	onChange func(BlockID)
 }
 
 type repKey struct {
@@ -49,7 +60,59 @@ func NewNameNode() *NameNode {
 		files:  make(map[string][]BlockID),
 		blocks: make(map[BlockID][]NodeID),
 		reps:   make(map[repKey]ReplicaInfo),
+		gens:   make(map[BlockID]uint64),
 	}
+}
+
+// SetReplicaChangeHook installs fn as the replica-change observer: it is
+// called with every block whose generation is bumped, after the namenode
+// lock is released. The block-level result cache registers its
+// invalidation here. A nil fn removes the hook.
+func (nn *NameNode) SetReplicaChangeHook(fn func(BlockID)) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.onChange = fn
+}
+
+// Generation returns the block's replica-topology generation. It starts at
+// zero and is bumped by RegisterReplica, UpdateReplica and InvalidateNode.
+func (nn *NameNode) Generation(b BlockID) uint64 {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	return nn.gens[b]
+}
+
+// notifyChanged fires the replica-change hook for the given blocks. Must
+// be called WITHOUT nn.mu held.
+func (nn *NameNode) notifyChanged(fn func(BlockID), blocks ...BlockID) {
+	if fn == nil {
+		return
+	}
+	for _, b := range blocks {
+		fn(b)
+	}
+}
+
+// InvalidateNode bumps the generation of every block with a replica on the
+// given node. The cluster calls it when a datanode dies or returns: either
+// event changes which replica a reader would open (replicas differ in sort
+// order), so cached per-block results keyed at the old generation must not
+// be served.
+func (nn *NameNode) InvalidateNode(node NodeID) {
+	nn.mu.Lock()
+	var changed []BlockID
+	for b, nodes := range nn.blocks {
+		for _, n := range nodes {
+			if n == node {
+				nn.gens[b]++
+				changed = append(changed, b)
+				break
+			}
+		}
+	}
+	fn := nn.onChange
+	nn.mu.Unlock()
+	nn.notifyChanged(fn, changed...)
 }
 
 // AddBlock appends a block to a file's block list.
@@ -86,6 +149,15 @@ func (nn *NameNode) Files() []string {
 // given metadata. Datanodes call this at the end of the upload pipeline
 // (§3.2 steps 11 and 14).
 func (nn *NameNode) RegisterReplica(b BlockID, node NodeID, info ReplicaInfo) {
+	fn := nn.registerReplicaNoNotify(b, node, info)
+	nn.notifyChanged(fn, b)
+}
+
+// registerReplicaNoNotify performs the registration and returns the
+// change hook for the caller to fire once it holds no locks — the
+// cluster's register-and-mark-dirty path calls this under saveMu, and
+// the hook must run outside every lock.
+func (nn *NameNode) registerReplicaNoNotify(b BlockID, node NodeID, info ReplicaInfo) func(BlockID) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	key := repKey{b, node}
@@ -93,6 +165,8 @@ func (nn *NameNode) RegisterReplica(b BlockID, node NodeID, info ReplicaInfo) {
 		nn.blocks[b] = append(nn.blocks[b], node)
 	}
 	nn.reps[key] = info
+	nn.gens[b]++
+	return nn.onChange
 }
 
 // GetHosts is the BlockLocation.getHosts lookup: all datanodes holding a
@@ -124,14 +198,26 @@ func (nn *NameNode) GetHostsWithIndex(b BlockID, column int) []NodeID {
 // it reports the new sort order and index metadata here. Unlike
 // RegisterReplica it refuses to invent a replica that was never uploaded.
 func (nn *NameNode) UpdateReplica(b BlockID, node NodeID, info ReplicaInfo) error {
+	fn, err := nn.updateReplicaNoNotify(b, node, info)
+	if err != nil {
+		return err
+	}
+	nn.notifyChanged(fn, b)
+	return nil
+}
+
+// updateReplicaNoNotify is registerReplicaNoNotify's counterpart for
+// Dir_rep updates.
+func (nn *NameNode) updateReplicaNoNotify(b BlockID, node NodeID, info ReplicaInfo) (func(BlockID), error) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	key := repKey{b, node}
 	if _, ok := nn.reps[key]; !ok {
-		return fmt.Errorf("hdfs: node %d holds no replica of block %d", node, b)
+		return nil, fmt.Errorf("hdfs: node %d holds no replica of block %d", node, b)
 	}
 	nn.reps[key] = info
-	return nil
+	nn.gens[b]++
+	return nn.onChange, nil
 }
 
 // ReplicaInfo returns Dir_rep's entry for (block, node).

@@ -36,35 +36,106 @@ func replicaSumPath(dir string, node NodeID, b BlockID) string {
 	return filepath.Join(dir, fmt.Sprintf("dn%d", node), fmt.Sprintf("blk_%d.crc", b))
 }
 
+// SaveReport summarizes what one Save actually wrote: replicas whose data
+// and checksum files were (re)written versus replicas skipped because they
+// were unchanged since the previous save to the same directory.
+type SaveReport struct {
+	ReplicasWritten int
+	ReplicasSkipped int
+}
+
 // Save writes the cluster's state to dir: a manifest plus per-datanode
 // subdirectories holding each replica's data and checksum files.
+//
+// Saves are incremental: the cluster tracks which replicas changed since
+// the last Save (new uploads, adaptive conversions, re-replications), and
+// a repeat Save to the same directory rewrites only those — an adaptive
+// query that converted three blocks persists three replicas, not the whole
+// filesystem. The manifest is always rewritten (it is small and holds the
+// authoritative Dir_block/Dir_rep state). Saving to a different directory,
+// or from a cluster that never saved, writes everything.
 func (c *Cluster) Save(dir string) error {
+	// Whole saves are serialized: concurrent saves to different
+	// directories would race on the dirty-set consumption and the
+	// savedTo transition (the second save could treat itself as
+	// incremental against marks the first one consumed). Uploads are not
+	// blocked — they only touch saveMu, briefly.
+	c.saveOpMu.Lock()
+	defer c.saveOpMu.Unlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Consume the dirty set and snapshot the namenode under one saveMu
+	// hold. Replica mutations register with the namenode and mark dirty
+	// atomically under the same lock (registerReplicaDirty), so the
+	// snapshot can never contain a Dir_rep entry whose dirty mark this
+	// save missed — the interleaving that would pair new manifest
+	// metadata with stale replica files on disk. Uploads racing with the
+	// save mark a fresh map, which the next Save consumes; on failure the
+	// consumed marks are merged back so no change is ever silently
+	// skipped.
 	m := manifest{
-		Nodes:     c.NumNodes(),
-		NextBlock: c.nextBlock,
-		Files:     make(map[string][]BlockID),
-	}
-	c.nn.mu.RLock()
-	for f, bs := range c.nn.files {
-		m.Files[f] = append([]BlockID(nil), bs...)
+		Nodes: c.NumNodes(),
+		Files: make(map[string][]BlockID),
 	}
 	type rep struct {
 		key  repKey
 		info ReplicaInfo
 	}
 	var reps []rep
+	c.saveMu.Lock()
+	full := c.savedTo != dir
+	dirty := c.dirty
+	c.dirty = nil
+	c.nn.mu.RLock()
+	for f, bs := range c.nn.files {
+		m.Files[f] = append([]BlockID(nil), bs...)
+	}
 	for k, info := range c.nn.reps {
 		reps = append(reps, rep{k, info})
 	}
 	c.nn.mu.RUnlock()
+	c.saveMu.Unlock()
+	success := false
+	defer func() {
+		c.saveMu.Lock()
+		if !success && len(dirty) > 0 {
+			if c.dirty == nil {
+				c.dirty = dirty
+			} else {
+				for k := range dirty {
+					c.dirty[k] = true
+				}
+			}
+		}
+		c.saveMu.Unlock()
+	}()
+	// Snapshot the block counter after the namenode state: any block the
+	// snapshot saw was allocated under c.mu before its replicas were
+	// registered, so this read is guaranteed past it and a Load can never
+	// hand out an ID the manifest already uses.
+	c.mu.Lock()
+	m.NextBlock = c.nextBlock
+	c.mu.Unlock()
 
+	var report SaveReport
 	for _, rp := range reps {
 		m.Replicas = append(m.Replicas, manifestReplica{
 			Block: rp.key.block, Node: rp.key.node, Info: rp.info,
 		})
+		dataPath := replicaDataPath(dir, rp.key.node, rp.key.block)
+		sumPath := replicaSumPath(dir, rp.key.node, rp.key.block)
+		if !full && !dirty[rp.key] {
+			// Unchanged since the last save of this directory; still guard
+			// against files removed behind our back. Both files must be
+			// present — Load needs the checksum file too.
+			_, dataErr := os.Stat(dataPath)
+			_, sumErr := os.Stat(sumPath)
+			if dataErr == nil && sumErr == nil {
+				report.ReplicasSkipped++
+				continue
+			}
+		}
 		dn := c.dns[rp.key.node]
 		dn.mu.RLock()
 		stored, ok := dn.replicas[rp.key.block]
@@ -73,26 +144,42 @@ func (c *Cluster) Save(dir string) error {
 			return fmt.Errorf("hdfs: namenode lists replica (%d,%d) the datanode does not store",
 				rp.key.block, rp.key.node)
 		}
-		if err := os.MkdirAll(filepath.Dir(replicaDataPath(dir, rp.key.node, rp.key.block)), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(dataPath), 0o755); err != nil {
 			return err
 		}
-		if err := os.WriteFile(replicaDataPath(dir, rp.key.node, rp.key.block), stored.data, 0o644); err != nil {
+		if err := os.WriteFile(dataPath, stored.data, 0o644); err != nil {
 			return err
 		}
 		sums := make([]byte, 0, 4*len(stored.sums))
 		for _, s := range stored.sums {
 			sums = binary.LittleEndian.AppendUint32(sums, s)
 		}
-		if err := os.WriteFile(replicaSumPath(dir, rp.key.node, rp.key.block), sums, 0o644); err != nil {
+		if err := os.WriteFile(sumPath, sums, 0o644); err != nil {
 			return err
 		}
+		report.ReplicasWritten++
 	}
 
 	data, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return err
+	}
+	c.saveMu.Lock()
+	c.savedTo = dir
+	c.lastSave = report
+	c.saveMu.Unlock()
+	success = true
+	return nil
+}
+
+// LastSaveReport returns what the most recent Save wrote and skipped.
+func (c *Cluster) LastSaveReport() SaveReport {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	return c.lastSave
 }
 
 // Load reconstructs a cluster from a directory written by Save, verifying
@@ -143,5 +230,11 @@ func Load(dir string) (*Cluster, error) {
 		}
 		c.nn.RegisterReplica(rp.Block, rp.Node, rp.Info)
 	}
+	// Everything just read from dir is by definition in sync with it: a
+	// later Save back to the same directory only writes what changes.
+	c.saveMu.Lock()
+	c.savedTo = dir
+	c.dirty = nil
+	c.saveMu.Unlock()
 	return c, nil
 }

@@ -137,3 +137,176 @@ func TestSaveLoadEmptyCluster(t *testing.T) {
 		t.Errorf("NumNodes = %d", loaded.NumNodes())
 	}
 }
+
+// TestSaveIncremental: a second Save to the same directory rewrites only
+// replicas that changed since the first (the ROADMAP's "Save rewrites
+// every replica on every save" fix).
+func TestSaveIncremental(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []BlockID
+	for i := 0; i < 4; i++ {
+		id, _, err := c.WriteBlock("/f", randBlock(8_000+i, int64(i)), 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rep := c.LastSaveReport(); rep.ReplicasWritten != 12 || rep.ReplicasSkipped != 0 {
+		t.Fatalf("first save wrote %+v, want 12 written", rep)
+	}
+
+	// Nothing changed: nothing rewritten.
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rep := c.LastSaveReport(); rep.ReplicasWritten != 0 || rep.ReplicasSkipped != 12 {
+		t.Fatalf("idle save wrote %+v, want 0 written / 12 skipped", rep)
+	}
+
+	// One replica reorganized in place: exactly one rewrite.
+	node := c.nn.GetHosts(ids[1])[0]
+	if err := c.ReplaceReplica(ids[1], node, randBlock(8_001, 77), ReplicaInfo{SortColumn: 2, HasIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rep := c.LastSaveReport(); rep.ReplicasWritten != 1 || rep.ReplicasSkipped != 11 {
+		t.Fatalf("post-replace save wrote %+v, want 1 written / 11 skipped", rep)
+	}
+
+	// A loaded cluster continues incrementally: one adaptive-style extra
+	// replica persists alone.
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := NodeID(3)
+	for _, h := range loaded.nn.GetHosts(ids[0]) {
+		if h == free {
+			t.Fatalf("test setup: node %d unexpectedly holds block %d", free, ids[0])
+		}
+	}
+	if err := loaded.StoreAdditionalReplica(ids[0], free, randBlock(8_000, 0), ReplicaInfo{SortColumn: 1, HasIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rep := loaded.LastSaveReport(); rep.ReplicasWritten != 1 || rep.ReplicasSkipped != 12 {
+		t.Fatalf("post-load save wrote %+v, want 1 written / 12 skipped", rep)
+	}
+
+	// A deleted file is restored even when clean.
+	path := replicaDataPath(dir, loaded.nn.GetHosts(ids[2])[0], ids[2])
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("removed replica file not restored: %v", err)
+	}
+
+	// Saving to a fresh directory writes everything again.
+	dir2 := t.TempDir()
+	if err := loaded.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if rep := loaded.LastSaveReport(); rep.ReplicasWritten != 13 {
+		t.Fatalf("save to new dir wrote %+v, want all 13", rep)
+	}
+	if _, err := Load(dir2); err != nil {
+		t.Fatalf("Load of incremental-save dir: %v", err)
+	}
+}
+
+// TestSaveRestoresMissingChecksumFile: the incremental skip guard must
+// notice a deleted .crc file, not just a deleted data file — Load needs
+// both.
+func TestSaveRestoresMissingChecksumFile(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := c.WriteBlock("/f", randBlock(6_000, 5), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	sumPath := replicaSumPath(dir, c.nn.GetHosts(id)[0], id)
+	if err := os.Remove(sumPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sumPath); err != nil {
+		t.Fatalf("checksum file not restored: %v", err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("Load after checksum restore: %v", err)
+	}
+}
+
+// TestSaveConcurrentWithUploads races Save against WriteBlock — the
+// dirty map is consumed atomically, so `go test -race` must stay quiet
+// and no marks may be lost.
+func TestSaveConcurrentWithUploads(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.WriteBlock("/f", randBlock(4_000, 0), 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := 1; i <= 20; i++ {
+			if _, _, err := c.WriteBlock("/f", randBlock(4_000+i, int64(i)), 3, nil); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 10; i++ {
+		if err := c.Save(dir); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// A final save flushes whatever the races left dirty; the directory
+	// must load with all 21 blocks intact.
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := loaded.NameNode().FileBlocks("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 21 {
+		t.Fatalf("loaded %d blocks, want 21", len(bs))
+	}
+}

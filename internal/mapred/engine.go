@@ -80,6 +80,103 @@ type Engine struct {
 	// task just scanned, so index creation overlaps the execution of the
 	// job's remaining tasks instead of serializing after it.
 	PostTask func(TaskReport)
+	// Cache, if set, is consulted per block before a map task reads it:
+	// a hit replays the block's cached map output and skips the read
+	// entirely, a miss computes and admits it. Caching only engages for
+	// jobs that declare a MapSig and whose input format implements both
+	// QuerySigner and BlockOpener; all other jobs run unchanged.
+	Cache ResultCache
+}
+
+// cacheContext is the per-job resolution of the result-cache wiring: the
+// key material (file, query signature, map identity) and the per-block
+// opener. nil means the job runs uncached.
+type cacheContext struct {
+	cache    ResultCache
+	opener   BlockOpener
+	nn       *hdfs.NameNode
+	file     string
+	querySig string
+	mapSig   string
+}
+
+// cacheContext decides whether this job's per-block results are cacheable
+// and assembles the context if so. Combine jobs run uncached: entries
+// hold pre-combine map output, so a high-fan-in aggregation would cache
+// the unshrunk KV stream — all copy cost, near-zero hit value — and
+// pre-combining per block would weaken the byte-identical replay
+// guarantee for combiners that are only multiset-idempotent.
+func (e *Engine) cacheContext(job *Job) *cacheContext {
+	if e.Cache == nil || job.MapSig == "" || job.Combine != nil {
+		return nil
+	}
+	signer, ok := job.Input.(QuerySigner)
+	if !ok {
+		return nil
+	}
+	opener, ok := job.Input.(BlockOpener)
+	if !ok {
+		return nil
+	}
+	sig, ok := signer.QuerySignature()
+	if !ok {
+		return nil
+	}
+	return &cacheContext{
+		cache: e.Cache, opener: opener, nn: e.Cluster.NameNode(),
+		file: job.File, querySig: sig, mapSig: job.MapSig,
+	}
+}
+
+// key builds the cache key for one block of a split executing on runOn.
+// The replica component pins the node whose stored order the result
+// reflects: the split's pinned replica when the scheduler chose one (index
+// scans), otherwise the executing node (whose local replica the reader
+// prefers).
+func (cc *cacheContext) key(split Split, b hdfs.BlockID, runOn hdfs.NodeID) CacheKey {
+	replica, ok := split.Replica[b]
+	if !ok {
+		replica = runOn
+	}
+	return CacheKey{
+		File: cc.file, Block: b, Gen: cc.nn.Generation(b),
+		Query: cc.querySig, MapSig: cc.mapSig, Replica: replica,
+	}
+}
+
+// readSplit executes one split block by block against the cache: hits
+// replay the block's map output without touching storage, misses run the
+// real record reader and admit their output. Block order is preserved, so
+// the task's output is byte-identical to an uncached run.
+func (cc *cacheContext) readSplit(job *Job, split Split, runOn hdfs.NodeID) (TaskStats, []KV, error) {
+	var stats TaskStats
+	var kvs []KV
+	for _, b := range split.Blocks {
+		// The generation is read once and used for both Get and Put: if a
+		// concurrent replica change bumps it mid-read, the admitted entry
+		// is keyed at the old generation and simply never found again.
+		key := cc.key(split, b, runOn)
+		if ckvs, _, ok := cc.cache.Get(key); ok {
+			kvs = append(kvs, ckvs...)
+			stats.Blocks++
+			stats.BlocksFromCache++
+			continue
+		}
+		rr, err := cc.opener.OpenBlock(split, b, runOn)
+		if err != nil {
+			return stats, nil, err
+		}
+		var bkvs []KV
+		emit := func(k, v string) { bkvs = append(bkvs, KV{k, v}) }
+		bstats, err := rr.Read(func(r Record) { job.Map(r, emit) })
+		if err != nil {
+			return stats, nil, err
+		}
+		cc.cache.Put(key, bkvs, bstats)
+		stats.Add(bstats)
+		kvs = append(kvs, bkvs...)
+	}
+	return stats, kvs, nil
 }
 
 // Run executes the job: split phase, map phase with locality scheduling
@@ -98,6 +195,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 	// the split's own locations (data locality, §4.2) and balancing load
 	// across trackers.
 	assignments := e.schedule(splits)
+	cc := e.cacheContext(job)
 
 	par := e.Parallelism
 	if par <= 0 {
@@ -121,7 +219,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 		go func(taskID int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			report, kvs, err := e.runTask(job, taskID, splits[taskID], assignments[taskID])
+			report, kvs, err := e.runTask(job, cc, taskID, splits[taskID], assignments[taskID])
 			outcomes[taskID] = taskOutcome{report, kvs, err}
 			if err == nil && e.PostTask != nil {
 				e.PostTask(report)
@@ -207,8 +305,10 @@ func (e *Engine) schedule(splits []Split) []hdfs.NodeID {
 
 // runTask executes one map task, retrying on another node when the
 // assigned node (or a replica it reads) dies mid-task. Retries model
-// Hadoop's task re-execution after the expiry interval.
-func (e *Engine) runTask(job *Job, taskID int, split Split, node hdfs.NodeID) (TaskReport, []KV, error) {
+// Hadoop's task re-execution after the expiry interval. With a cache
+// context the split is read block by block through the result cache;
+// otherwise the whole split runs through the input format's reader.
+func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, node hdfs.NodeID) (TaskReport, []KV, error) {
 	const maxAttempts = 4
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
@@ -219,28 +319,29 @@ func (e *Engine) runTask(job *Job, taskID int, split Split, node hdfs.NodeID) (T
 				return TaskReport{}, nil, fmt.Errorf("mapred: no alive node for task %d", taskID)
 			}
 		}
-		rr, err := job.Input.Open(split, runOn)
-		if err != nil {
-			lastErr = err
-			continue
-		}
+		var stats TaskStats
 		var kvs []KV
-		var outBytes int64
-		emit := func(k, v string) {
-			kvs = append(kvs, KV{k, v})
-			outBytes += int64(len(k) + len(v) + 2)
+		var err error
+		if cc != nil {
+			stats, kvs, err = cc.readSplit(job, split, runOn)
+		} else {
+			var rr RecordReader
+			rr, err = job.Input.Open(split, runOn)
+			if err == nil {
+				emit := func(k, v string) { kvs = append(kvs, KV{k, v}) }
+				stats, err = rr.Read(func(r Record) { job.Map(r, emit) })
+			}
 		}
-		stats, err := rr.Read(func(r Record) { job.Map(r, emit) })
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if job.Combine != nil {
 			kvs = runReduce(job.Combine, kvs)
-			outBytes = 0
-			for _, kv := range kvs {
-				outBytes += int64(len(kv.Key) + len(kv.Value) + 2)
-			}
+		}
+		var outBytes int64
+		for _, kv := range kvs {
+			outBytes += int64(len(kv.Key) + len(kv.Value) + 2)
 		}
 		stats.OutputBytes = outBytes
 		local := false

@@ -70,6 +70,10 @@ type TaskStats struct {
 	TextBytesParsed   int64 // text bytes split/parsed (Hadoop path CPU)
 	RemoteReads       int   // blocks read from a non-local replica
 	OutputBytes       int64 // bytes emitted by the map function
+	// BlocksFromCache counts blocks whose map output was served by the
+	// block-level result cache: the block contributes no read I/O or
+	// record CPU to the task, only its (replayed) output.
+	BlocksFromCache int
 }
 
 // Add accumulates other into s.
@@ -87,6 +91,7 @@ func (s *TaskStats) Add(other TaskStats) {
 	s.TextBytesParsed += other.TextBytesParsed
 	s.RemoteReads += other.RemoteReads
 	s.OutputBytes += other.OutputBytes
+	s.BlocksFromCache += other.BlocksFromCache
 }
 
 // AddIO folds a PAX reader's I/O statistics into the task stats.
@@ -132,6 +137,53 @@ type RecordReader interface {
 	Read(fn func(Record)) (TaskStats, error)
 }
 
+// QuerySigner is implemented by input formats whose record readers are a
+// pure function of (block bytes, declared query): QuerySignature returns a
+// normalized identity of the query (filter + projection) that, together
+// with the block and its replica generation, keys the block-level result
+// cache. ok reports whether the input format supports signatures at all.
+type QuerySigner interface {
+	QuerySignature() (sig string, ok bool)
+}
+
+// BlockOpener is implemented by input formats that can open a record
+// reader for a single block of a split — the granularity the result cache
+// works at. The returned reader must behave exactly as Open's reader would
+// for that block (same replica preference, same stats accounting).
+type BlockOpener interface {
+	OpenBlock(split Split, b hdfs.BlockID, node hdfs.NodeID) (RecordReader, error)
+}
+
+// CacheKey identifies one block's cached map output. Two executions with
+// equal keys are guaranteed to produce identical output: the replica
+// generation changes whenever the block's replica topology does (new,
+// replaced, lost or returned replicas), and Replica pins the node whose
+// stored order the result reflects.
+type CacheKey struct {
+	File  string
+	Block hdfs.BlockID
+	// Gen is the block's replica-topology generation
+	// (hdfs.NameNode.Generation) at read time.
+	Gen uint64
+	// Query is the input format's normalized query signature.
+	Query string
+	// MapSig is the job's declared map-function identity.
+	MapSig string
+	// Replica is the node whose replica the result was read from: the
+	// split's pinned replica when one exists, the executing node
+	// otherwise.
+	Replica hdfs.NodeID
+}
+
+// ResultCache is the engine's view of the block-level result cache
+// (internal/qcache): per-block map outputs with the stats the computation
+// cost, so hits can account for the work they saved. Implementations must
+// be safe for concurrent use by many task goroutines.
+type ResultCache interface {
+	Get(k CacheKey) ([]KV, TaskStats, bool)
+	Put(k CacheKey, kvs []KV, stats TaskStats)
+}
+
 // Job describes one MapReduce job.
 type Job struct {
 	Name  string
@@ -143,4 +195,10 @@ type Job struct {
 	// data. It must be semantically idempotent with Reduce.
 	Combine ReduceFunc
 	Reduce  ReduceFunc // nil for map-only jobs (all of the paper's queries)
+	// MapSig declares a stable identity for the Map function (and
+	// Combine, if any), e.g. "workload.Passthrough". Map functions are
+	// closures the engine cannot compare, so result caching is opt-in:
+	// jobs with an empty MapSig are never cached, and two jobs must only
+	// share a MapSig if their Map and Combine behave identically.
+	MapSig string
 }

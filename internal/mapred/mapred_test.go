@@ -19,6 +19,9 @@ type fakeInput struct {
 	// failOnDead makes Open/Read fail when the assigned node is dead,
 	// emulating a reader that loses its replica.
 	failOnDead bool
+	// sig, when non-empty, is returned by QuerySignature — it makes the
+	// fake input cacheable.
+	sig string
 
 	mu    sync.Mutex
 	opens map[hdfs.NodeID]int
@@ -360,5 +363,189 @@ func TestCombinerShrinksMapOutput(t *testing.T) {
 	if combined.TotalStats().OutputBytes*10 >= plain.TotalStats().OutputBytes {
 		t.Errorf("combiner barely shrank output: %d vs %d bytes",
 			combined.TotalStats().OutputBytes, plain.TotalStats().OutputBytes)
+	}
+}
+
+// --- result-cache engine path ---
+
+// sig makes fakeInput cacheable: QuerySignature/OpenBlock turn it into a
+// QuerySigner + BlockOpener like core.InputFormat.
+func (f *fakeInput) QuerySignature() (string, bool) { return f.sig, f.sig != "" }
+
+func (f *fakeInput) OpenBlock(split Split, b hdfs.BlockID, node hdfs.NodeID) (RecordReader, error) {
+	sub := split
+	sub.Blocks = []hdfs.BlockID{b}
+	return f.Open(sub, node)
+}
+
+// mapCache is an unbounded in-memory ResultCache for engine tests.
+type mapCache struct {
+	mu      sync.Mutex
+	m       map[CacheKey][]KV
+	s       map[CacheKey]TaskStats
+	hits    int
+	misses  int
+	lastKey CacheKey
+}
+
+func newMapCache() *mapCache {
+	return &mapCache{m: make(map[CacheKey][]KV), s: make(map[CacheKey]TaskStats)}
+}
+
+func (c *mapCache) Get(k CacheKey) ([]KV, TaskStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kvs, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return kvs, c.s[k], ok
+}
+
+func (c *mapCache) Put(k CacheKey, kvs []KV, stats TaskStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = append([]KV(nil), kvs...)
+	c.s[k] = stats
+	c.lastKey = k
+}
+
+func runCounting(t *testing.T, e *Engine, f *fakeInput, name string) *JobResult {
+	t.Helper()
+	res, err := e.Run(&Job{
+		Name:   name,
+		File:   "/fake",
+		Input:  f,
+		Map:    func(r Record, emit Emit) { emit(r.Raw, "1") },
+		MapSig: "raw-count",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEngineCacheHitsSkipReads(t *testing.T) {
+	c, f := buildFake(t, 4, 10, 20)
+	f.sig = "f{}|p{*}"
+	cache := newMapCache()
+	e := &Engine{Cluster: c, Cache: cache}
+
+	cold := runCounting(t, e, f, "job1")
+	if got := cold.TotalStats().BlocksFromCache; got != 0 {
+		t.Fatalf("cold job served %d blocks from cache", got)
+	}
+	opensBefore := 0
+	f.mu.Lock()
+	for _, n := range f.opens {
+		opensBefore += n
+	}
+	f.mu.Unlock()
+
+	hot := runCounting(t, e, f, "job2")
+	st := hot.TotalStats()
+	if st.BlocksFromCache != 10 {
+		t.Errorf("hot job: %d blocks from cache, want 10", st.BlocksFromCache)
+	}
+	if st.RecordsScanned != 0 {
+		t.Errorf("hot job scanned %d records, want 0", st.RecordsScanned)
+	}
+	opensAfter := 0
+	f.mu.Lock()
+	for _, n := range f.opens {
+		opensAfter += n
+	}
+	f.mu.Unlock()
+	if opensAfter != opensBefore {
+		t.Errorf("hot job opened %d readers, want 0", opensAfter-opensBefore)
+	}
+
+	// Output must be byte-identical, order included.
+	if len(hot.Output) != len(cold.Output) {
+		t.Fatalf("hot output %d rows, cold %d", len(hot.Output), len(cold.Output))
+	}
+	for i := range hot.Output {
+		if hot.Output[i] != cold.Output[i] {
+			t.Fatalf("row %d differs: %v vs %v", i, hot.Output[i], cold.Output[i])
+		}
+	}
+	// OutputBytes must be accounted identically for cached and computed
+	// blocks.
+	if hot.TotalStats().OutputBytes != cold.TotalStats().OutputBytes {
+		t.Errorf("OutputBytes differ: hot %d, cold %d",
+			hot.TotalStats().OutputBytes, cold.TotalStats().OutputBytes)
+	}
+}
+
+func TestEngineCacheDisabledWithoutMapSig(t *testing.T) {
+	c, f := buildFake(t, 4, 4, 5)
+	f.sig = "f{}|p{*}"
+	cache := newMapCache()
+	e := &Engine{Cluster: c, Cache: cache}
+	job := &Job{Name: "nosig", File: "/fake", Input: f,
+		Map: func(r Record, emit Emit) { emit(r.Raw, "1") }} // no MapSig
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.m) != 0 {
+		t.Errorf("cache populated despite missing MapSig: %d entries", len(cache.m))
+	}
+}
+
+func TestEngineCacheDisabledWithoutSigner(t *testing.T) {
+	c, f := buildFake(t, 4, 4, 5)
+	f.sig = "" // QuerySignature reports ok=false
+	cache := newMapCache()
+	e := &Engine{Cluster: c, Cache: cache}
+	runCounting(t, e, f, "unsigned")
+	if len(cache.m) != 0 {
+		t.Errorf("cache populated despite unsigned input: %d entries", len(cache.m))
+	}
+}
+
+func TestEngineCacheKeyUsesGeneration(t *testing.T) {
+	c, f := buildFake(t, 4, 1, 5)
+	f.sig = "f{}|p{*}"
+	// Register the fake block with the namenode so it has a generation.
+	c.NameNode().RegisterReplica(0, 0, hdfs.ReplicaInfo{})
+	gen := c.NameNode().Generation(0)
+	cache := newMapCache()
+	e := &Engine{Cluster: c, Cache: cache}
+	runCounting(t, e, f, "job1")
+	if cache.lastKey.Gen != gen {
+		t.Fatalf("cached at generation %d, namenode says %d", cache.lastKey.Gen, gen)
+	}
+	// A topology change (new replica) must make the next run miss.
+	c.NameNode().RegisterReplica(0, 1, hdfs.ReplicaInfo{})
+	cache.mu.Lock()
+	cache.misses = 0
+	cache.mu.Unlock()
+	runCounting(t, e, f, "job2")
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if cache.misses == 0 {
+		t.Error("generation bump did not force a miss")
+	}
+	if cache.lastKey.Gen != gen+1 {
+		t.Errorf("re-admitted at generation %d, want %d", cache.lastKey.Gen, gen+1)
+	}
+}
+
+// TestEngineCacheConcurrentJob runs a cached job with full parallelism so
+// `go test -race` exercises concurrent Get/Put through the engine.
+func TestEngineCacheConcurrentJob(t *testing.T) {
+	c, f := buildFake(t, 4, 32, 10)
+	f.sig = "f{}|p{*}"
+	cache := newMapCache()
+	e := &Engine{Cluster: c, Cache: cache, Parallelism: 8}
+	cold := runCounting(t, e, f, "cold")
+	hot := runCounting(t, e, f, "hot")
+	if len(cold.Output) != 320 || len(hot.Output) != 320 {
+		t.Fatalf("outputs: cold %d, hot %d, want 320", len(cold.Output), len(hot.Output))
+	}
+	if got := hot.TotalStats().BlocksFromCache; got != 32 {
+		t.Errorf("hot job: %d blocks from cache, want 32", got)
 	}
 }

@@ -14,6 +14,8 @@ package query
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/schema"
@@ -62,6 +64,26 @@ func (p Predicate) Matches(v schema.Value) bool {
 // IsPoint reports whether the predicate is an equality.
 func (p Predicate) IsPoint() bool {
 	return p.Lo != nil && p.Hi != nil && p.Lo.Equal(*p.Hi)
+}
+
+// Canonical renders the predicate as a whitespace-free interval,
+// independent of how it was constructed: `@8 >= 1 and @8 <= 10`,
+// `@8 between(1,10)` and `@8 between( 1 , 10 )` all canonicalize to
+// "@8[1..10]". Unbounded sides render as -inf / +inf. This is the stable
+// string form cache keys and logs are built from, so it must be
+// injective: string-typed bounds are quoted (they may contain the ".."
+// and ";" delimiters); numeric and date renderings cannot.
+func (p Predicate) Canonical() string {
+	canon := func(v *schema.Value, unbounded string) string {
+		if v == nil {
+			return unbounded
+		}
+		if v.Type() == schema.String {
+			return strconv.Quote(v.String())
+		}
+		return v.String()
+	}
+	return fmt.Sprintf("@%d[%s..%s]", p.Column+1, canon(p.Lo, "-inf"), canon(p.Hi, "+inf"))
 }
 
 // String renders the predicate in annotation syntax.
@@ -135,6 +157,42 @@ func (q *Query) Validate(s *schema.Schema) error {
 		}
 	}
 	return nil
+}
+
+// Signature returns a canonical, normalized identity of the query's
+// semantics: predicates on the same attribute are intersected, conjuncts
+// are ordered by attribute, and each is rendered in its Canonical interval
+// form, so two queries that select the same rows and project the same
+// attributes have equal signatures regardless of operand order, operator
+// spelling (>=/<= vs between) or whitespace. The block-level result cache
+// keys entries by this string; it is also the stable form for logs.
+// Projection order is preserved — it changes the output rows.
+func (q *Query) Signature() string {
+	if q == nil {
+		q = &Query{}
+	}
+	merged := mergeConjuncts(append([]Predicate(nil), q.Filter...))
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Column < merged[j].Column })
+	var b strings.Builder
+	b.WriteString("f{")
+	for i, p := range merged {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(p.Canonical())
+	}
+	b.WriteString("}|p{")
+	if len(q.Projection) == 0 {
+		b.WriteByte('*')
+	}
+	for i, c := range q.Projection {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "@%d", c+1)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // String renders the query in annotation syntax.

@@ -208,3 +208,83 @@ func TestStringRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestSignatureNormalizesEquivalentQueries(t *testing.T) {
+	// The same selection, written four different ways: operand order,
+	// operator spelling (>=/<= vs between) and whitespace must not leak
+	// into the signature — it is the result cache's key material.
+	variants := []string{
+		"@9 between(100,199) and @3 between(1999-01-01,2000-01-01)",
+		"@3 between(1999-01-01,2000-01-01) and @9 between(100,199)",
+		"@9 >= 100 and @3 between( 1999-01-01 , 2000-01-01 ) and @9 <= 199",
+		"  @3   between(1999-01-01,2000-01-01)   and @9>=100 and @9<=199 ",
+	}
+	var first string
+	for i, filter := range variants {
+		preds, err := ParseFilter(userVisits, filter)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		sig := (&Query{Filter: preds, Projection: []int{0}}).Signature()
+		if i == 0 {
+			first = sig
+			continue
+		}
+		if sig != first {
+			t.Errorf("variant %d signature %q != %q", i, sig, first)
+		}
+	}
+	if !strings.Contains(first, "@3[1999-01-01..2000-01-01]") ||
+		!strings.Contains(first, "@9[100..199]") {
+		t.Errorf("signature %q missing canonical intervals", first)
+	}
+}
+
+func TestSignatureDistinguishesDifferentQueries(t *testing.T) {
+	base := &Query{Filter: []Predicate{Eq(0, schema.StringVal("x"))}, Projection: []int{1}}
+	cases := []*Query{
+		{Filter: []Predicate{Eq(0, schema.StringVal("y"))}, Projection: []int{1}}, // other value
+		{Filter: []Predicate{Eq(1, schema.StringVal("x"))}, Projection: []int{1}}, // other column
+		{Filter: []Predicate{Eq(0, schema.StringVal("x"))}, Projection: []int{2}}, // other projection
+		{Filter: []Predicate{Eq(0, schema.StringVal("x"))}},                       // project-all
+		{Filter: []Predicate{AtLeast(0, schema.StringVal("x"))}, Projection: []int{1}},
+	}
+	for i, q := range cases {
+		if q.Signature() == base.Signature() {
+			t.Errorf("case %d: distinct query shares signature %q", i, base.Signature())
+		}
+	}
+	var nilQ *Query
+	if nilQ.Signature() != (&Query{}).Signature() {
+		t.Error("nil query and empty query must share the full-scan signature")
+	}
+}
+
+func TestSignatureProjectionOrderMatters(t *testing.T) {
+	a := &Query{Projection: []int{0, 1}}
+	b := &Query{Projection: []int{1, 0}}
+	if a.Signature() == b.Signature() {
+		t.Error("projection order changes output rows and must change the signature")
+	}
+}
+
+func TestSignatureStringBoundsUnambiguous(t *testing.T) {
+	// String bounds may contain the canonical form's own delimiters;
+	// without quoting, these two distinct selections would collide on one
+	// signature — and the result cache would serve one query's rows for
+	// the other.
+	a := &Query{Filter: []Predicate{Between(0, schema.StringVal("a..b"), schema.StringVal("c"))}}
+	b := &Query{Filter: []Predicate{Between(0, schema.StringVal("a"), schema.StringVal("b..c"))}}
+	if a.Signature() == b.Signature() {
+		t.Fatalf("distinct string-bound queries share signature %q", a.Signature())
+	}
+	c := &Query{Filter: []Predicate{
+		Eq(0, schema.StringVal(`x".."y`)),
+	}}
+	d := &Query{Filter: []Predicate{
+		Eq(0, schema.StringVal(`x".."z`)),
+	}}
+	if c.Signature() == d.Signature() {
+		t.Fatalf("quote-bearing bounds collide: %q", c.Signature())
+	}
+}

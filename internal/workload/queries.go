@@ -33,6 +33,11 @@ func PassthroughMap(r mapred.Record, emit mapred.Emit) {
 	emit(r.Row.Line(','), "")
 }
 
+// PassthroughMapSig is PassthroughMap's stable identity for
+// mapred.Job.MapSig — every job that uses PassthroughMap must use this
+// signature so their cached block results interchange.
+const PassthroughMapSig = "workload.Passthrough"
+
 // mustQuery parses an annotation against a schema, panicking on error —
 // these are static benchmark definitions.
 func mustQuery(s *schema.Schema, ann string) *query.Query {
