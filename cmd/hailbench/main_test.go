@@ -106,3 +106,67 @@ func TestBenchJSONFigures(t *testing.T) {
 		t.Errorf("artifact figures = %+v, want one Fig4a", figs)
 	}
 }
+
+// TestBenchShardCounters: -nn-shards surfaces the per-shard directory
+// operation counters in the adaptive report's JSON, and the synthetic
+// workload satisfies the ≤40% busiest-shard bound.
+func TestBenchShardCounters(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_shards.json")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-quick", "-adaptive", "-workload", "Synthetic", "-jobs", "4",
+		"-offer-rate", "0.5", "-nn-shards", "8", "-json", jsonPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "namenode: 8 shard(s)") {
+		t.Errorf("stdout missing shard spread line:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.AdaptiveReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	st := rep.NameNode
+	if st.Shards != 8 || len(st.Ops) != 8 || st.TotalOps == 0 {
+		t.Fatalf("JSON namenode_shards = %+v, want 8 populated shards", st)
+	}
+	if st.MaxShare > 0.40 {
+		t.Errorf("busiest shard absorbed %.0f%% of directory ops (>40%%): %v", 100*st.MaxShare, st.Ops)
+	}
+}
+
+// TestBenchJSONFiguresWithShards: figure-mode JSON gains the shard
+// counters when -nn-shards is explicit (and only then — see
+// TestBenchJSONFigures for the historical bare-list shape).
+func TestBenchJSONFiguresWithShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure fixture too slow for -short")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_figs_shards.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-quick", "-only", "Fig4a", "-nn-shards", "8", "-json", jsonPath}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	var wrapped struct {
+		Figures  []*experiments.Figure  `json:"figures"`
+		NameNode experiments.ShardStats `json:"namenode_shards"`
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &wrapped); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrapped.Figures) != 1 || wrapped.Figures[0].ID != "Fig4a" {
+		t.Errorf("wrapped figures = %+v, want one Fig4a", wrapped.Figures)
+	}
+	if wrapped.NameNode.Shards != 8 || wrapped.NameNode.TotalOps == 0 {
+		t.Errorf("wrapped namenode_shards = %+v, want 8 populated shards", wrapped.NameNode)
+	}
+}

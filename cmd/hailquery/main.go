@@ -63,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	adaptiveBudget := fs.Int64("adaptive-budget", 0, "adaptive: cap on extra replica bytes adaptive builds may store (0 = unlimited)")
 	cacheMode := fs.Bool("cache", false, "enable the block-level result cache for this job")
 	cacheBudget := fs.Int64("cache-budget", qcache.DefaultBudget, "cache: byte budget for cached block results")
+	nnShards := fs.Int("nn-shards", 0, "namenode directory shards (0 = default, 1 = unsharded)")
 	stats := fs.Bool("stats", false, "print access-path statistics")
 	limit := fs.Int("limit", 20, "max result rows to print (0 = all)")
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	cluster, err := hdfs.Load(*fsDir)
+	cluster, err := hdfs.LoadShards(*fsDir, *nnShards)
 	if err != nil {
 		return fmt.Errorf("loading filesystem: %v", err)
 	}
@@ -140,6 +141,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "-- %d index scans, %d full scans, %.2f MB data read, %.1f KB index read, %d seeks\n",
 			st.IndexScans, st.FullScans,
 			float64(st.BytesRead)/1e6, float64(st.IndexBytesRead)/1e3, st.Seeks)
+		fmt.Fprintf(stdout, "-- %s\n", cluster.NameNode().ShardStats())
 	}
 	if cache != nil {
 		cs := cache.Stats()

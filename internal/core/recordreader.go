@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hdfs"
 	"repro/internal/index"
@@ -139,7 +140,10 @@ func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *
 func (r *recordReader) emitRange(reader *pax.Reader, q *query.Query, proj []int,
 	fromRow, toRow int, fn func(mapred.Record), stats *mapred.TaskStats) error {
 
-	// Collect the distinct columns we must materialize.
+	// Collect the distinct columns we must materialize and read them in
+	// ascending column order: the reader counts a seek whenever a read is
+	// not adjacent to the previous one, so iterating the map directly
+	// would make the job's seek count depend on Go's map iteration order.
 	needed := make(map[int][]schema.Value)
 	for _, p := range q.Filter {
 		needed[p.Column] = nil
@@ -147,7 +151,12 @@ func (r *recordReader) emitRange(reader *pax.Reader, q *query.Query, proj []int,
 	for _, c := range proj {
 		needed[c] = nil
 	}
+	cols := make([]int, 0, len(needed))
 	for col := range needed {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	for _, col := range cols {
 		vals, err := reader.ReadColumnRange(col, fromRow, toRow)
 		if err != nil {
 			return err

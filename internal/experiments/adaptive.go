@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
-	"repro/internal/hdfs"
 	"repro/internal/mapred"
 	"repro/internal/query"
 	"repro/internal/schema"
@@ -56,6 +55,8 @@ type AdaptiveReport struct {
 	// block in a single job — the worst case the offer rate bounds.
 	FullBuildSeconds float64
 	Jobs             []AdaptiveJob
+	// NameNode is the run's per-shard directory-operation spread.
+	NameNode ShardStats `json:"namenode_shards"`
 }
 
 // adaptiveQuery filters on an attribute the static layout never indexes:
@@ -89,7 +90,7 @@ func (r *Runner) ExpAdaptive(w Workload, jobs int, offerRate float64) (*Adaptive
 	// static-figure fixtures.
 	lines := r.lines(w)
 	blockSize := r.blockTextBytes(w, lines)
-	cluster, err := hdfs.NewCluster(r.Nodes)
+	cluster, err := r.newCluster()
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +154,7 @@ func (r *Runner) ExpAdaptive(w Workload, jobs int, offerRate float64) (*Adaptive
 			}
 		}
 	}
+	rep.NameNode = shardStatsOf(cluster)
 	return rep, nil
 }
 
@@ -259,6 +261,7 @@ func (rep *AdaptiveReport) String() string {
 	if rep.OfferRate <= 0 {
 		fmt.Fprintf(&b, "conversion disabled (observe only); job %d at %.0f%% index scans\n",
 			last.Job, 100*last.IndexScanFraction)
+		fmt.Fprintf(&b, "%s\n", rep.NameNode)
 		return b.String()
 	}
 	// The offer count is ceil(rate × missing), so the bound carries one
@@ -268,5 +271,6 @@ func (rep *AdaptiveReport) String() string {
 		rep.Jobs[0].Seconds-rep.BaselineSeconds,
 		rep.OfferRate, rep.TotalBlocks, rep.FullBuildSeconds, bound,
 		last.Job, 100*last.IndexScanFraction)
+	fmt.Fprintf(&b, "%s\n", rep.NameNode)
 	return b.String()
 }

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
-	"repro/internal/hdfs"
 	"repro/internal/mapred"
 	"repro/internal/qcache"
 	"repro/internal/workload"
@@ -74,6 +73,8 @@ type CacheReport struct {
 	// (real measured bytes, unscaled).
 	BytesSaved int64
 	Jobs       []CacheJob
+	// NameNode is the run's per-shard directory-operation spread.
+	NameNode ShardStats `json:"namenode_shards"`
 }
 
 // multiset builds the row→count map of a job output.
@@ -110,7 +111,7 @@ func (r *Runner) ExpCache(w Workload, jobs int, budget int64, offerRate float64)
 	// Fresh fixture: the adaptive phase mutates the cluster.
 	lines := r.lines(w)
 	blockSize := r.blockTextBytes(w, lines)
-	cluster, err := hdfs.NewCluster(r.Nodes)
+	cluster, err := r.newCluster()
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +229,7 @@ func (r *Runner) ExpCache(w Workload, jobs int, budget int64, offerRate float64)
 		})
 	}
 	rep.BytesSaved = cache.Stats().BytesSaved
+	rep.NameNode = shardStatsOf(cluster)
 	return rep, nil
 }
 
@@ -278,5 +280,6 @@ func (rep *CacheReport) String() string {
 	}
 	fmt.Fprintf(&b, "adaptive phase converted %d blocks, invalidating %d cache entries; all %d jobs byte-equivalent to uncached execution\n",
 		rebuilt, invalidated, len(rep.Jobs))
+	fmt.Fprintf(&b, "%s\n", rep.NameNode)
 	return b.String()
 }

@@ -118,9 +118,14 @@ type Runner struct {
 	// adaptive and cache experiments (0 = unbounded), mirroring the
 	// CLIs' -adaptive-budget flag.
 	AdaptiveBudget int64
+	// NNShards is the namenode directory shard count for every cluster
+	// the Runner creates (0 = hdfs.DefaultShards; 1 = the historical
+	// unsharded layout), mirroring the CLIs' -nn-shards flag.
+	NNShards int
 
 	mu       sync.Mutex
 	fixtures map[string]*fixture
+	tracker  clusterTracker
 }
 
 // NewRunner returns a Runner with full-fidelity defaults: ~64 partitions
@@ -249,7 +254,7 @@ func (r *Runner) fixture(w Workload, s System) (*fixture, error) {
 	}
 	lines := r.lines(w)
 	blockSize := r.blockTextBytes(w, lines)
-	cluster, err := hdfs.NewCluster(r.Nodes)
+	cluster, err := r.newCluster()
 	if err != nil {
 		return nil, err
 	}

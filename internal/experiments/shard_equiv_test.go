@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Sharded-directory equivalence: the full ExpAdaptive and ExpCache
+// pipelines — uploads, splits, adaptive conversions, cache invalidations
+// and the cost model — must produce byte-identical reports whether the
+// namenode directory runs as a single map (NNShards=1, the historical
+// layout) or fully sharded. Everything in the pipeline is deterministic,
+// so any divergence is a sharding bug (lost update, reordered GetHosts,
+// double-fired hook).
+
+// reportJSON marshals a report with its shard-stats field zeroed — the
+// contention counters legitimately differ between shard layouts; all
+// observable results must not.
+func reportJSON(t *testing.T, rep interface{ clearShardStats() }) []byte {
+	t.Helper()
+	rep.clearShardStats()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func (rep *AdaptiveReport) clearShardStats() { rep.NameNode = ShardStats{} }
+func (rep *CacheReport) clearShardStats()    { rep.NameNode = ShardStats{} }
+
+func TestExpAdaptiveShardEquivalence(t *testing.T) {
+	skipIfShort(t)
+	run := func(shards int) []byte {
+		r := quickRunner()
+		r.NNShards = shards
+		rep, err := r.ExpAdaptive(Synthetic, 4, 0.5)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return reportJSON(t, rep)
+	}
+	unsharded := run(1)
+	for _, shards := range []int{8, 16} {
+		if got := run(shards); string(got) != string(unsharded) {
+			t.Errorf("ExpAdaptive report at %d shards diverged from unsharded:\n%s\nvs\n%s",
+				shards, got, unsharded)
+		}
+	}
+}
+
+func TestExpCacheShardEquivalence(t *testing.T) {
+	skipIfShort(t)
+	run := func(shards int) []byte {
+		r := quickRunner()
+		r.NNShards = shards
+		rep, err := r.ExpCache(UserVisits, 4, 0, 0.5)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return reportJSON(t, rep)
+	}
+	unsharded := run(1)
+	if got := run(8); string(got) != string(unsharded) {
+		t.Errorf("ExpCache report at 8 shards diverged from unsharded:\n%s\nvs\n%s", got, unsharded)
+	}
+}
+
+// TestShardSpreadBound is the acceptance bound: at 8 shards on the
+// synthetic workload no shard absorbs more than 40% of directory
+// operations.
+func TestShardSpreadBound(t *testing.T) {
+	r := quickRunner()
+	r.NNShards = 8
+	rep, err := r.ExpAdaptive(Synthetic, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.NameNode
+	if st.Shards != 8 || len(st.Ops) != 8 {
+		t.Fatalf("shard stats = %+v, want 8 shards", st)
+	}
+	if st.TotalOps == 0 {
+		t.Fatal("no directory operations counted")
+	}
+	if st.MaxShare > 0.40 {
+		t.Errorf("busiest shard absorbed %.0f%% of %d directory ops (>40%%): %v",
+			100*st.MaxShare, st.TotalOps, st.Ops)
+	}
+}

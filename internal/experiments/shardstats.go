@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/hdfs"
+)
+
+// ShardStats is the namenode directory's lock-spread summary the
+// experiment reports embed (see hdfs.DirShardStats for the fields and
+// the -json schema).
+type ShardStats = hdfs.DirShardStats
+
+// shardStatsOf aggregates the per-shard directory counters of the given
+// clusters.
+func shardStatsOf(clusters ...*hdfs.Cluster) ShardStats {
+	nns := make([]*hdfs.NameNode, len(clusters))
+	for i, c := range clusters {
+		nns[i] = c.NameNode()
+	}
+	return hdfs.CombineShardStats(nns...)
+}
+
+// clusterTracker records every cluster a Runner creates so figure-mode
+// runs can report an aggregate lock spread; it is separate from
+// Runner.mu because fixture() creates clusters while holding mu.
+type clusterTracker struct {
+	mu       sync.Mutex
+	clusters []*hdfs.Cluster
+}
+
+func (ct *clusterTracker) track(c *hdfs.Cluster) *hdfs.Cluster {
+	ct.mu.Lock()
+	ct.clusters = append(ct.clusters, c)
+	ct.mu.Unlock()
+	return c
+}
+
+func (ct *clusterTracker) all() []*hdfs.Cluster {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return append([]*hdfs.Cluster(nil), ct.clusters...)
+}
+
+// newCluster creates a cluster with the Runner's node count and namenode
+// shard count (0 = hdfs.DefaultShards) and records it for NNShardStats.
+func (r *Runner) newCluster() (*hdfs.Cluster, error) {
+	c, err := hdfs.NewClusterShards(r.Nodes, r.NNShards)
+	if err != nil {
+		return nil, err
+	}
+	return r.tracker.track(c), nil
+}
+
+// NNShardStats aggregates the per-shard directory-operation counters over
+// every cluster this Runner created — the figure-mode counterpart to the
+// per-report ShardStats the adaptive and cache experiments embed.
+func (r *Runner) NNShardStats() ShardStats {
+	return shardStatsOf(r.tracker.all()...)
+}

@@ -33,65 +33,56 @@ type Cluster struct {
 	nextBlock BlockID
 	cursor    int // round-robin placement cursor
 
-	// Incremental-save state: which replicas changed since the last Save,
-	// and which directory that save targeted (a different target forces a
-	// full rewrite). Guarded by saveMu, not mu — saves must not block
-	// uploads. saveOpMu serializes whole Save calls: two concurrent saves
-	// to different directories would otherwise race on consuming the
-	// dirty set and the savedTo transition, letting one of them skip a
-	// changed replica.
+	// Incremental-save bookkeeping: which directory the last save
+	// targeted (a different target forces a full rewrite) and what it
+	// wrote. The dirty-replica marks themselves live in the namenode's
+	// directory shards, next to the Dir_rep entries they annotate.
+	// Guarded by saveMu, not mu — saves must not block uploads. saveOpMu
+	// serializes whole Save calls: two concurrent saves to different
+	// directories would otherwise race on consuming the dirty marks and
+	// the savedTo transition, letting one of them skip a changed replica.
 	saveOpMu sync.Mutex
 	saveMu   sync.Mutex
-	dirty    map[repKey]bool
 	savedTo  string
 	lastSave SaveReport
 }
 
-// dirtyLocked records that a replica's stored bytes changed since the
-// last Save, so the next Save rewrites (only) it. Caller holds saveMu.
-func (c *Cluster) dirtyLocked(b BlockID, node NodeID) {
-	if c.dirty == nil {
-		c.dirty = make(map[repKey]bool)
-	}
-	c.dirty[repKey{b, node}] = true
-}
-
 // registerReplicaDirty registers a new replica and marks it dirty as one
-// atomic step under saveMu. Save consumes the dirty set and snapshots the
-// namenode under the same lock, so it can never observe the registration
-// without its dirty mark — the interleaving that would persist a manifest
-// entry while skipping the replica's changed bytes. The replica-change
-// hook fires after saveMu is released, so hooks may safely call back
-// into the save API.
+// atomic step under the block's directory-shard lock. Save snapshots each
+// shard and consumes its dirty marks under the same lock, so it can never
+// observe the registration without its dirty mark — the interleaving that
+// would persist a manifest entry while skipping the replica's changed
+// bytes. The replica-change hook fires after every lock is released, so
+// hooks may safely call back into the save API.
 func (c *Cluster) registerReplicaDirty(b BlockID, node NodeID, info ReplicaInfo) {
-	c.saveMu.Lock()
-	fn := c.nn.registerReplicaNoNotify(b, node, info)
-	c.dirtyLocked(b, node)
-	c.saveMu.Unlock()
-	c.nn.notifyChanged(fn, b)
+	c.nn.registerReplica(b, node, info, true)
+	c.nn.notifyChanged(c.nn.hook(), b)
 }
 
 // updateReplicaDirty is registerReplicaDirty's counterpart for in-place
 // replica updates (adaptive conversions).
 func (c *Cluster) updateReplicaDirty(b BlockID, node NodeID, info ReplicaInfo) error {
-	c.saveMu.Lock()
-	fn, err := c.nn.updateReplicaNoNotify(b, node, info)
-	if err != nil {
-		c.saveMu.Unlock()
+	if err := c.nn.updateReplica(b, node, info, true); err != nil {
 		return err
 	}
-	c.dirtyLocked(b, node)
-	c.saveMu.Unlock()
-	c.nn.notifyChanged(fn, b)
+	c.nn.notifyChanged(c.nn.hook(), b)
 	return nil
 }
 
-// NewCluster creates a cluster with n datanodes (IDs 0..n-1).
+// NewCluster creates a cluster with n datanodes (IDs 0..n-1) and the
+// default namenode shard count.
 func NewCluster(n int) (*Cluster, error) {
+	return NewClusterShards(n, DefaultShards)
+}
+
+// NewClusterShards creates a cluster with n datanodes whose namenode
+// directory is partitioned into the given number of shards (values below
+// 1 select DefaultShards; pass 1 for the historical unsharded layout).
+func NewClusterShards(n, shards int) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("hdfs: cluster needs at least one datanode")
 	}
-	c := &Cluster{nn: NewNameNode()}
+	c := &Cluster{nn: NewNameNodeShards(shards)}
 	for i := 0; i < n; i++ {
 		c.dns = append(c.dns, NewDataNode(NodeID(i)))
 	}

@@ -3,7 +3,11 @@ package hdfs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/hdfs/shardmap"
 )
 
 // NodeID identifies a datanode.
@@ -23,6 +27,11 @@ type ReplicaInfo struct {
 	IndexSize  int
 }
 
+// DefaultShards is the namenode directory's default shard count. Eight
+// shards spread the metadata path's lock traffic without measurable
+// overhead at one; `-nn-shards` overrides it in the CLIs.
+const DefaultShards = 8
+
 // NameNode keeps the paper's two directories (§3.3):
 //
 //	Dir_block: blockID            → set of datanodes
@@ -31,8 +40,36 @@ type ReplicaInfo struct {
 // plus the file → blocks mapping every filesystem needs. Classic HDFS has
 // only Dir_block; Dir_rep is HAIL's extension, and is what lets the
 // scheduler send map tasks to the replica with the right index.
+//
+// The directories are partitioned into independently locked shards by a
+// consistent-hash ring over directory keys (file names route by name,
+// block-keyed state by "block/<id>"), so concurrent map tasks, adaptive
+// conversions and cache generation reads contend per shard instead of on
+// one global lock. The NameNode type itself is a thin façade: every
+// public method keeps the exact observable behaviour of the historical
+// single-map implementation (the oracle-equivalence property test in
+// oracle_test.go holds the two to identical observations), and
+// cross-shard aggregations return deterministic, sorted results.
 type NameNode struct {
+	ring   *shardmap.Ring
+	shards []*dirShard
+
+	// onChange, if set, is called (outside every shard lock) with each
+	// block whose generation was bumped — the result cache's active
+	// invalidation hook. It fires exactly once per affected block per
+	// mutating call; multi-block mutations (InvalidateNode) fire it in
+	// ascending block order.
+	hookMu   sync.RWMutex
+	onChange func(BlockID)
+}
+
+// dirShard is one partition of the namenode directory. Each shard owns
+// the file table, Dir_block, Dir_rep, the replica generations and the
+// incremental-save dirty marks for the keys the ring routes to it, under
+// its own lock.
+type dirShard struct {
 	mu     sync.RWMutex
+	ops    atomic.Uint64 // directory operations served (lock acquisitions)
 	files  map[string][]BlockID
 	blocks map[BlockID][]NodeID // Dir_block; insertion order = pipeline order
 	reps   map[repKey]ReplicaInfo
@@ -43,10 +80,10 @@ type NameNode struct {
 	// they were computed at, so stale results become unreachable instead
 	// of being served.
 	gens map[BlockID]uint64
-	// onChange, if set, is called (outside the namenode lock) with each
-	// block whose generation was bumped — the result cache's active
-	// invalidation hook.
-	onChange func(BlockID)
+	// dirty marks replicas whose stored bytes changed since the last
+	// Save. It lives with the shard so registration and dirty-marking are
+	// one atomic step under the shard lock (see Cluster.Save).
+	dirty map[repKey]bool
 }
 
 type repKey struct {
@@ -54,36 +91,164 @@ type repKey struct {
 	node  NodeID
 }
 
-// NewNameNode returns an empty namenode.
-func NewNameNode() *NameNode {
-	return &NameNode{
-		files:  make(map[string][]BlockID),
-		blocks: make(map[BlockID][]NodeID),
-		reps:   make(map[repKey]ReplicaInfo),
-		gens:   make(map[BlockID]uint64),
+// repEntry is a (key, info) pair from Dir_rep, used by save snapshots.
+type repEntry struct {
+	key  repKey
+	info ReplicaInfo
+}
+
+// lock/rlock count the acquisition so per-shard contention is measurable
+// (hailbench -json reports the spread).
+func (s *dirShard) lock() *dirShard {
+	s.ops.Add(1)
+	s.mu.Lock()
+	return s
+}
+
+func (s *dirShard) rlock() *dirShard {
+	s.ops.Add(1)
+	s.mu.RLock()
+	return s
+}
+
+// NewNameNode returns an empty namenode with DefaultShards directory
+// shards.
+func NewNameNode() *NameNode { return NewNameNodeShards(DefaultShards) }
+
+// NewNameNodeShards returns an empty namenode whose directory is
+// partitioned into the given number of shards. Values below 1 select
+// DefaultShards — the single "0 means default" convention every layer
+// (CLI flags, the experiment Runner) relies on; pass 1 explicitly for
+// the historical unsharded layout.
+func NewNameNodeShards(shards int) *NameNode {
+	if shards < 1 {
+		shards = DefaultShards
 	}
+	ring := shardmap.New(shards)
+	nn := &NameNode{ring: ring}
+	for i := 0; i < ring.NumShards(); i++ {
+		nn.shards = append(nn.shards, &dirShard{
+			files:  make(map[string][]BlockID),
+			blocks: make(map[BlockID][]NodeID),
+			reps:   make(map[repKey]ReplicaInfo),
+			gens:   make(map[BlockID]uint64),
+		})
+	}
+	return nn
+}
+
+// blockShardKey is the ring key for block-scoped state. The format is
+// chosen with the ring's hash so that even the first handful of block IDs
+// (small files) spread across shards — see shardmap's small-population
+// test.
+func blockShardKey(b BlockID) string {
+	return "block/" + strconv.FormatInt(int64(b), 10)
+}
+
+func (nn *NameNode) blockShard(b BlockID) *dirShard {
+	return nn.shards[nn.ring.Shard(blockShardKey(b))]
+}
+
+func (nn *NameNode) fileShard(file string) *dirShard {
+	return nn.shards[nn.ring.Shard(file)]
+}
+
+// NumShards returns the directory's shard count.
+func (nn *NameNode) NumShards() int { return len(nn.shards) }
+
+// ShardOps returns a snapshot of per-shard directory-operation counts
+// (every lock acquisition, read or write). hailbench reports them so the
+// lock-spread across shards is measured, not asserted.
+func (nn *NameNode) ShardOps() []uint64 {
+	out := make([]uint64, len(nn.shards))
+	for i, s := range nn.shards {
+		out[i] = s.ops.Load()
+	}
+	return out
+}
+
+// DirShardStats summarizes how directory operations spread over the
+// namenode's shards — the measured counterpart to the sharding's "no
+// global lock" claim. hailquery -stats prints it and hailbench embeds it
+// in -json reports.
+type DirShardStats struct {
+	// Shards is the directory shard count.
+	Shards int `json:"shards"`
+	// Ops is the per-shard directory-operation count (lock acquisitions).
+	Ops []uint64 `json:"ops"`
+	// TotalOps is the sum over Ops.
+	TotalOps uint64 `json:"total_ops"`
+	// MaxShare is the busiest shard's fraction of TotalOps (1.0 for a
+	// single shard).
+	MaxShare float64 `json:"max_share"`
+}
+
+// CombineShardStats aggregates the shard counters of one or more
+// namenodes (an experiment run may spread its traffic over several
+// clusters) into one spread summary.
+func CombineShardStats(nns ...*NameNode) DirShardStats {
+	var st DirShardStats
+	for _, nn := range nns {
+		ops := nn.ShardOps()
+		if st.Shards < nn.NumShards() {
+			st.Shards = nn.NumShards()
+		}
+		if len(st.Ops) < len(ops) {
+			st.Ops = append(st.Ops, make([]uint64, len(ops)-len(st.Ops))...)
+		}
+		for i, n := range ops {
+			st.Ops[i] += n
+			st.TotalOps += n
+		}
+	}
+	var max uint64
+	for _, n := range st.Ops {
+		if n > max {
+			max = n
+		}
+	}
+	if st.TotalOps > 0 {
+		st.MaxShare = float64(max) / float64(st.TotalOps)
+	}
+	return st
+}
+
+// ShardStats returns this namenode's own spread summary.
+func (nn *NameNode) ShardStats() DirShardStats { return CombineShardStats(nn) }
+
+// String renders the spread as a one-line summary.
+func (st DirShardStats) String() string {
+	return fmt.Sprintf("namenode: %d shard(s), %d directory ops, busiest %.0f%%",
+		st.Shards, st.TotalOps, 100*st.MaxShare)
 }
 
 // SetReplicaChangeHook installs fn as the replica-change observer: it is
-// called with every block whose generation is bumped, after the namenode
-// lock is released. The block-level result cache registers its
+// called with every block whose generation is bumped, after all namenode
+// locks are released. The block-level result cache registers its
 // invalidation here. A nil fn removes the hook.
 func (nn *NameNode) SetReplicaChangeHook(fn func(BlockID)) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	nn.hookMu.Lock()
+	defer nn.hookMu.Unlock()
 	nn.onChange = fn
+}
+
+// hook returns the current replica-change observer.
+func (nn *NameNode) hook() func(BlockID) {
+	nn.hookMu.RLock()
+	defer nn.hookMu.RUnlock()
+	return nn.onChange
 }
 
 // Generation returns the block's replica-topology generation. It starts at
 // zero and is bumped by RegisterReplica, UpdateReplica and InvalidateNode.
 func (nn *NameNode) Generation(b BlockID) uint64 {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	return nn.gens[b]
+	s := nn.blockShard(b).rlock()
+	defer s.mu.RUnlock()
+	return s.gens[b]
 }
 
 // notifyChanged fires the replica-change hook for the given blocks. Must
-// be called WITHOUT nn.mu held.
+// be called with NO shard lock held.
 func (nn *NameNode) notifyChanged(fn func(BlockID), blocks ...BlockID) {
 	if fn == nil {
 		return
@@ -97,49 +262,56 @@ func (nn *NameNode) notifyChanged(fn func(BlockID), blocks ...BlockID) {
 // given node. The cluster calls it when a datanode dies or returns: either
 // event changes which replica a reader would open (replicas differ in sort
 // order), so cached per-block results keyed at the old generation must not
-// be served.
+// be served. The hook fires exactly once per affected block, in ascending
+// block order — deterministic regardless of how blocks are spread over
+// shards.
 func (nn *NameNode) InvalidateNode(node NodeID) {
-	nn.mu.Lock()
 	var changed []BlockID
-	for b, nodes := range nn.blocks {
-		for _, n := range nodes {
-			if n == node {
-				nn.gens[b]++
-				changed = append(changed, b)
-				break
+	for _, s := range nn.shards {
+		s.lock()
+		for b, nodes := range s.blocks {
+			for _, n := range nodes {
+				if n == node {
+					s.gens[b]++
+					changed = append(changed, b)
+					break
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
-	fn := nn.onChange
-	nn.mu.Unlock()
-	nn.notifyChanged(fn, changed...)
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	nn.notifyChanged(nn.hook(), changed...)
 }
 
 // AddBlock appends a block to a file's block list.
 func (nn *NameNode) AddBlock(file string, b BlockID) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	nn.files[file] = append(nn.files[file], b)
+	s := nn.fileShard(file).lock()
+	defer s.mu.Unlock()
+	s.files[file] = append(s.files[file], b)
 }
 
 // FileBlocks returns the blocks of a file in order.
 func (nn *NameNode) FileBlocks(file string) ([]BlockID, error) {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	bs, ok := nn.files[file]
+	s := nn.fileShard(file).rlock()
+	defer s.mu.RUnlock()
+	bs, ok := s.files[file]
 	if !ok {
 		return nil, fmt.Errorf("hdfs: no such file %q", file)
 	}
 	return append([]BlockID(nil), bs...), nil
 }
 
-// Files lists all registered files, sorted.
+// Files lists all registered files, sorted — the cross-shard merge must
+// not leak shard (or map) iteration order.
 func (nn *NameNode) Files() []string {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	out := make([]string, 0, len(nn.files))
-	for f := range nn.files {
-		out = append(out, f)
+	var out []string
+	for _, s := range nn.shards {
+		s.rlock()
+		for f := range s.files {
+			out = append(out, f)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -149,42 +321,55 @@ func (nn *NameNode) Files() []string {
 // given metadata. Datanodes call this at the end of the upload pipeline
 // (§3.2 steps 11 and 14).
 func (nn *NameNode) RegisterReplica(b BlockID, node NodeID, info ReplicaInfo) {
-	fn := nn.registerReplicaNoNotify(b, node, info)
-	nn.notifyChanged(fn, b)
+	nn.registerReplica(b, node, info, false)
+	nn.notifyChanged(nn.hook(), b)
 }
 
-// registerReplicaNoNotify performs the registration and returns the
-// change hook for the caller to fire once it holds no locks — the
-// cluster's register-and-mark-dirty path calls this under saveMu, and
-// the hook must run outside every lock.
-func (nn *NameNode) registerReplicaNoNotify(b BlockID, node NodeID, info ReplicaInfo) func(BlockID) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+// registerReplica performs the registration under the block's shard lock,
+// optionally marking the replica dirty for the next incremental Save in
+// the same atomic step — the cluster's register-and-mark-dirty path needs
+// the two inseparable so a save snapshot can never observe the
+// registration without its dirty mark. The caller fires the change hook
+// once it holds no locks.
+func (nn *NameNode) registerReplica(b BlockID, node NodeID, info ReplicaInfo, markDirty bool) {
+	s := nn.blockShard(b).lock()
+	defer s.mu.Unlock()
 	key := repKey{b, node}
-	if _, dup := nn.reps[key]; !dup {
-		nn.blocks[b] = append(nn.blocks[b], node)
+	if _, dup := s.reps[key]; !dup {
+		s.blocks[b] = append(s.blocks[b], node)
 	}
-	nn.reps[key] = info
-	nn.gens[b]++
-	return nn.onChange
+	s.reps[key] = info
+	s.gens[b]++
+	if markDirty {
+		s.markDirtyLocked(key)
+	}
+}
+
+// markDirtyLocked records a replica's bytes as changed since the last
+// Save. Caller holds the shard lock.
+func (s *dirShard) markDirtyLocked(key repKey) {
+	if s.dirty == nil {
+		s.dirty = make(map[repKey]bool)
+	}
+	s.dirty[key] = true
 }
 
 // GetHosts is the BlockLocation.getHosts lookup: all datanodes holding a
 // replica of the block, in registration order.
 func (nn *NameNode) GetHosts(b BlockID) []NodeID {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	return append([]NodeID(nil), nn.blocks[b]...)
+	s := nn.blockShard(b).rlock()
+	defer s.mu.RUnlock()
+	return append([]NodeID(nil), s.blocks[b]...)
 }
 
 // GetHostsWithIndex is HAIL's new lookup (§4.3): the datanodes whose
 // replica of the block carries a clustered index on the given attribute.
 func (nn *NameNode) GetHostsWithIndex(b BlockID, column int) []NodeID {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
+	s := nn.blockShard(b).rlock()
+	defer s.mu.RUnlock()
 	var out []NodeID
-	for _, node := range nn.blocks[b] {
-		info := nn.reps[repKey{b, node}]
+	for _, node := range s.blocks[b] {
+		info := s.reps[repKey{b, node}]
 		if info.HasIndex && info.SortColumn == column {
 			out = append(out, node)
 		}
@@ -198,39 +383,101 @@ func (nn *NameNode) GetHostsWithIndex(b BlockID, column int) []NodeID {
 // it reports the new sort order and index metadata here. Unlike
 // RegisterReplica it refuses to invent a replica that was never uploaded.
 func (nn *NameNode) UpdateReplica(b BlockID, node NodeID, info ReplicaInfo) error {
-	fn, err := nn.updateReplicaNoNotify(b, node, info)
-	if err != nil {
+	if err := nn.updateReplica(b, node, info, false); err != nil {
 		return err
 	}
-	nn.notifyChanged(fn, b)
+	nn.notifyChanged(nn.hook(), b)
 	return nil
 }
 
-// updateReplicaNoNotify is registerReplicaNoNotify's counterpart for
-// Dir_rep updates.
-func (nn *NameNode) updateReplicaNoNotify(b BlockID, node NodeID, info ReplicaInfo) (func(BlockID), error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+// updateReplica is registerReplica's counterpart for Dir_rep updates.
+func (nn *NameNode) updateReplica(b BlockID, node NodeID, info ReplicaInfo, markDirty bool) error {
+	s := nn.blockShard(b).lock()
+	defer s.mu.Unlock()
 	key := repKey{b, node}
-	if _, ok := nn.reps[key]; !ok {
-		return nil, fmt.Errorf("hdfs: node %d holds no replica of block %d", node, b)
+	if _, ok := s.reps[key]; !ok {
+		return fmt.Errorf("hdfs: node %d holds no replica of block %d", node, b)
 	}
-	nn.reps[key] = info
-	nn.gens[b]++
-	return nn.onChange, nil
+	s.reps[key] = info
+	s.gens[b]++
+	if markDirty {
+		s.markDirtyLocked(key)
+	}
+	return nil
 }
 
 // ReplicaInfo returns Dir_rep's entry for (block, node).
 func (nn *NameNode) ReplicaInfo(b BlockID, node NodeID) (ReplicaInfo, bool) {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	info, ok := nn.reps[repKey{b, node}]
+	s := nn.blockShard(b).rlock()
+	defer s.mu.RUnlock()
+	info, ok := s.reps[repKey{b, node}]
 	return info, ok
 }
 
 // ReplicaCount returns the number of registered replicas of a block.
 func (nn *NameNode) ReplicaCount(b BlockID) int {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	return len(nn.blocks[b])
+	s := nn.blockShard(b).rlock()
+	defer s.mu.RUnlock()
+	return len(s.blocks[b])
+}
+
+// snapshotForSave copies the file table and Dir_rep and consumes the
+// dirty-replica marks, shard by shard. Within a shard the replica copy
+// and the dirty consumption are one atomic step under the shard lock, so
+// the snapshot can never contain a Dir_rep entry whose dirty mark it
+// missed; a registration racing on an already-snapshotted shard keeps
+// its mark for the next save.
+//
+// The two tables are snapshotted in two passes, file tables strictly
+// BEFORE replica tables. WriteBlock registers a block's replicas before
+// it calls AddBlock, so a block observed under a file in pass one
+// already had its replicas registered, and pass two — which starts
+// after pass one finishes — cannot miss them: a saved manifest never
+// lists a file block without its replicas (which Load would turn into a
+// permanently unreadable file). The opposite skew — replicas of a block
+// whose AddBlock hasn't landed yet — is benign and was possible under
+// the historical single-lock snapshot too: the replicas are persisted,
+// and the file entry arrives with the next save.
+//
+// Replicas are returned sorted by (block, node) so everything
+// downstream — the manifest's replica order above all — is
+// deterministic instead of leaking shard or map iteration order.
+func (nn *NameNode) snapshotForSave() (files map[string][]BlockID, reps []repEntry, dirty map[repKey]bool) {
+	files = make(map[string][]BlockID)
+	dirty = make(map[repKey]bool)
+	for _, s := range nn.shards {
+		s.rlock()
+		for f, bs := range s.files {
+			files[f] = append([]BlockID(nil), bs...)
+		}
+		s.mu.RUnlock()
+	}
+	for _, s := range nn.shards {
+		s.lock()
+		for k, info := range s.reps {
+			reps = append(reps, repEntry{k, info})
+		}
+		for k := range s.dirty {
+			dirty[k] = true
+		}
+		s.dirty = nil
+		s.mu.Unlock()
+	}
+	sort.Slice(reps, func(i, j int) bool {
+		if reps[i].key.block != reps[j].key.block {
+			return reps[i].key.block < reps[j].key.block
+		}
+		return reps[i].key.node < reps[j].key.node
+	})
+	return files, reps, dirty
+}
+
+// restoreDirty merges consumed dirty marks back after a failed save, so
+// no replica change is ever silently skipped by the next one.
+func (nn *NameNode) restoreDirty(dirty map[repKey]bool) {
+	for k := range dirty {
+		s := nn.blockShard(k.block).lock()
+		s.markDirtyLocked(k)
+		s.mu.Unlock()
+	}
 }

@@ -56,59 +56,39 @@ type SaveReport struct {
 // or from a cluster that never saved, writes everything.
 func (c *Cluster) Save(dir string) error {
 	// Whole saves are serialized: concurrent saves to different
-	// directories would race on the dirty-set consumption and the
+	// directories would race on the dirty-mark consumption and the
 	// savedTo transition (the second save could treat itself as
 	// incremental against marks the first one consumed). Uploads are not
-	// blocked — they only touch saveMu, briefly.
+	// blocked — they synchronize with the save only through the
+	// namenode's per-shard locks, which both sides hold briefly.
 	c.saveOpMu.Lock()
 	defer c.saveOpMu.Unlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	// Consume the dirty set and snapshot the namenode under one saveMu
-	// hold. Replica mutations register with the namenode and mark dirty
-	// atomically under the same lock (registerReplicaDirty), so the
+	// Snapshot the namenode and consume the dirty marks shard by shard.
+	// Replica mutations register with a directory shard and mark dirty
+	// atomically under that shard's lock (registerReplicaDirty), so the
 	// snapshot can never contain a Dir_rep entry whose dirty mark this
 	// save missed — the interleaving that would pair new manifest
 	// metadata with stale replica files on disk. Uploads racing with the
-	// save mark a fresh map, which the next Save consumes; on failure the
-	// consumed marks are merged back so no change is ever silently
-	// skipped.
-	m := manifest{
-		Nodes: c.NumNodes(),
-		Files: make(map[string][]BlockID),
-	}
-	type rep struct {
-		key  repKey
-		info ReplicaInfo
-	}
-	var reps []rep
+	// save leave fresh marks, which the next Save consumes; on failure
+	// the consumed marks are merged back so no change is ever silently
+	// skipped. The snapshot's replicas arrive sorted by (block, node), so
+	// the manifest's replica order is deterministic.
 	c.saveMu.Lock()
 	full := c.savedTo != dir
-	dirty := c.dirty
-	c.dirty = nil
-	c.nn.mu.RLock()
-	for f, bs := range c.nn.files {
-		m.Files[f] = append([]BlockID(nil), bs...)
-	}
-	for k, info := range c.nn.reps {
-		reps = append(reps, rep{k, info})
-	}
-	c.nn.mu.RUnlock()
 	c.saveMu.Unlock()
+	files, reps, dirty := c.nn.snapshotForSave()
+	m := manifest{
+		Nodes: c.NumNodes(),
+		Files: files,
+	}
 	success := false
 	defer func() {
-		c.saveMu.Lock()
-		if !success && len(dirty) > 0 {
-			if c.dirty == nil {
-				c.dirty = dirty
-			} else {
-				for k := range dirty {
-					c.dirty[k] = true
-				}
-			}
+		if !success {
+			c.nn.restoreDirty(dirty)
 		}
-		c.saveMu.Unlock()
 	}()
 	// Snapshot the block counter after the namenode state: any block the
 	// snapshot saw was allocated under c.mu before its replicas were
@@ -183,8 +163,16 @@ func (c *Cluster) LastSaveReport() SaveReport {
 }
 
 // Load reconstructs a cluster from a directory written by Save, verifying
-// every replica against its checksum file.
+// every replica against its checksum file. The namenode gets the default
+// shard count.
 func Load(dir string) (*Cluster, error) {
+	return LoadShards(dir, DefaultShards)
+}
+
+// LoadShards is Load with an explicit namenode shard count — the shard
+// layout is a per-process runtime choice, not persisted state, so the
+// same filesystem directory can be opened at any shard count.
+func LoadShards(dir string, shards int) (*Cluster, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, err
@@ -193,7 +181,7 @@ func Load(dir string) (*Cluster, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("hdfs: bad manifest: %v", err)
 	}
-	c, err := NewCluster(m.Nodes)
+	c, err := NewClusterShards(m.Nodes, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -232,9 +220,10 @@ func Load(dir string) (*Cluster, error) {
 	}
 	// Everything just read from dir is by definition in sync with it: a
 	// later Save back to the same directory only writes what changes.
+	// (Load registers replicas through the non-dirty path, so no shard
+	// holds stale dirty marks.)
 	c.saveMu.Lock()
 	c.savedTo = dir
-	c.dirty = nil
 	c.saveMu.Unlock()
 	return c, nil
 }

@@ -1,0 +1,128 @@
+// Package shardmap provides the consistent-hash ring the sharded namenode
+// directory is partitioned with. Keys (file names and block keys) map to
+// one of N shards via the classic fixed-point construction: every shard
+// owns a set of virtual points on a 64-bit ring, and a key belongs to the
+// shard owning the first point at or after the key's hash.
+//
+// Two properties matter to the namenode:
+//
+//   - Balance: with enough virtual points per shard, the synthetic
+//     workload's short keys ("/UserVisits", "blk:17", ...) spread evenly,
+//     so no shard's lock absorbs a disproportionate share of directory
+//     operations.
+//   - Bounded movement: growing the ring from N to N+1 shards only moves
+//     the keys that now fall to the new shard's points — an expected
+//     1/(N+1) of the keyspace — and every moved key moves TO the new
+//     shard. That is what makes a later multi-process split mechanical:
+//     only the new process's keys migrate.
+//
+// The ring is immutable after construction; Resize returns a new ring
+// sharing the same virtual-point scheme so the movement bound holds.
+package shardmap
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-point count. 160 points per
+// shard keeps the maximum shard's share of a uniform keyspace within a few
+// percent of fair for the shard counts the namenode uses (1–64).
+const DefaultVirtualNodes = 160
+
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is an immutable consistent-hash ring over string keys.
+type Ring struct {
+	shards int
+	vnodes int
+	points []point // sorted by (hash, shard)
+}
+
+// New returns a ring with the given shard count and DefaultVirtualNodes
+// virtual points per shard. Shard counts below 1 are clamped to 1.
+func New(shards int) *Ring { return NewVirtual(shards, DefaultVirtualNodes) }
+
+// NewVirtual returns a ring with an explicit virtual-point count per
+// shard (tests use small counts to provoke imbalance).
+func NewVirtual(shards, vnodes int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{shards: shards, vnodes: vnodes}
+	r.points = make([]point, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		r.points = append(r.points, shardPoints(s, vnodes)...)
+	}
+	sortPoints(r.points)
+	return r
+}
+
+// shardPoints returns shard s's virtual points. The point set of a shard
+// depends only on (s, vnodes), never on the ring's total shard count —
+// the invariant behind the bounded-movement property.
+func shardPoints(s, vnodes int) []point {
+	pts := make([]point, vnodes)
+	for v := 0; v < vnodes; v++ {
+		pts[v] = point{hash: Hash(fmt.Sprintf("shard-%d-point-%d", s, v)), shard: s}
+	}
+	return pts
+}
+
+func sortPoints(pts []point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].shard < pts[j].shard
+	})
+}
+
+// Hash is the ring's key hash, exported so tests can reason about
+// placement: 64-bit FNV-1a followed by a murmur3-style avalanche
+// finalizer. Bare FNV-1a leaves sequential keys ("block/0", "block/1", ...)
+// within a narrow arc of the ring — they differ only in the final
+// multiply's low-entropy input — which collapses a whole small file onto
+// one shard; the finalizer spreads every bit of the input over the whole
+// 64-bit ring.
+func Hash(key string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NumShards returns the ring's shard count.
+func (r *Ring) NumShards() int { return r.shards }
+
+// VirtualNodes returns the per-shard virtual-point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Shard maps a key to its shard: the owner of the first virtual point at
+// or after the key's hash, wrapping at the top of the ring.
+func (r *Ring) Shard(key string) int {
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Resize returns a new ring with the given shard count and the same
+// virtual-point scheme. Growing N→M only moves keys onto the added shards
+// N..M-1 (an expected (M-N)/M of the keyspace); shrinking moves only the
+// removed shards' keys, each to some surviving shard.
+func (r *Ring) Resize(shards int) *Ring { return NewVirtual(shards, r.vnodes) }

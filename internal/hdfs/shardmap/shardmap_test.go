@@ -1,0 +1,146 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+// workloadKeys builds the key population the namenode actually routes:
+// block keys for a few thousand blocks plus file paths shaped like the
+// benchmark workloads' names.
+func workloadKeys(blocks int) []string {
+	keys := make([]string, 0, blocks+64)
+	for b := 0; b < blocks; b++ {
+		keys = append(keys, fmt.Sprintf("block/%d", b))
+	}
+	for f := 0; f < 32; f++ {
+		keys = append(keys, fmt.Sprintf("/UserVisits-%d", f), fmt.Sprintf("/Synthetic/part-%05d", f))
+	}
+	return keys
+}
+
+// TestDeterministic: the same key maps to the same shard on independently
+// constructed rings — required for a later multi-process split, where
+// every process builds its own ring.
+func TestDeterministic(t *testing.T) {
+	a, b := New(8), New(8)
+	for _, k := range workloadKeys(1000) {
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("key %q: ring A says %d, ring B says %d", k, a.Shard(k), b.Shard(k))
+		}
+	}
+}
+
+// TestShardRange: every key lands in [0, shards).
+func TestShardRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8, 17} {
+		r := New(shards)
+		for _, k := range workloadKeys(500) {
+			if s := r.Shard(k); s < 0 || s >= shards {
+				t.Fatalf("shards=%d key %q → %d out of range", shards, k, s)
+			}
+		}
+	}
+}
+
+// TestClampsBadArguments: non-positive shard/vnode counts degrade to a
+// working single-shard ring rather than panicking.
+func TestClampsBadArguments(t *testing.T) {
+	r := NewVirtual(0, 0)
+	if r.NumShards() != 1 || r.VirtualNodes() != 1 {
+		t.Fatalf("clamped ring = %d shards × %d vnodes, want 1×1", r.NumShards(), r.VirtualNodes())
+	}
+	if s := r.Shard("anything"); s != 0 {
+		t.Fatalf("single-shard ring routed to %d", s)
+	}
+}
+
+// TestDistributionBalance: across the synthetic workload's key shapes no
+// shard's share strays far from fair. The bound is loose enough to be
+// robust (consistent hashing is not perfectly uniform) but tight enough
+// to catch a broken point scheme or hash.
+func TestDistributionBalance(t *testing.T) {
+	keys := workloadKeys(20000)
+	for _, shards := range []int{4, 8, 16} {
+		r := New(shards)
+		counts := make([]int, shards)
+		for _, k := range keys {
+			counts[r.Shard(k)]++
+		}
+		fair := float64(len(keys)) / float64(shards)
+		for s, c := range counts {
+			share := float64(c) / fair
+			if share > 1.35 || share < 0.65 {
+				t.Errorf("shards=%d: shard %d holds %d keys (%.2f× fair %.0f); counts=%v",
+					shards, s, c, share, fair, counts)
+			}
+		}
+	}
+}
+
+// TestSmallBlockPopulationSpread guards the hailbench acceptance bound
+// directly: the quick fixtures have only ~10 blocks, and per-block
+// directory operations are uniform across them, so no shard may own more
+// than 40% of the first 10 block keys at 8 shards (4/10 blocks on one
+// shard would breach the bound even before per-file and all-shard
+// operations flatten it).
+func TestSmallBlockPopulationSpread(t *testing.T) {
+	r := New(8)
+	counts := make([]int, 8)
+	for b := 0; b < 10; b++ {
+		counts[r.Shard(fmt.Sprintf("block/%d", b))]++
+	}
+	for s, c := range counts {
+		if c > 3 {
+			t.Errorf("shard %d owns %d of the 10 quick-fixture blocks (>3): counts=%v", s, c, counts)
+		}
+	}
+}
+
+// TestBoundedMovementOnGrow is the consistent-hashing contract: growing
+// N→N+1 moves only keys that now belong to the NEW shard, and the moved
+// fraction stays near the expected 1/(N+1).
+func TestBoundedMovementOnGrow(t *testing.T) {
+	keys := workloadKeys(20000)
+	for _, n := range []int{2, 4, 8, 16} {
+		old := New(n)
+		grown := old.Resize(n + 1)
+		moved := 0
+		for _, k := range keys {
+			before, after := old.Shard(k), grown.Shard(k)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != n {
+				t.Fatalf("n=%d: key %q moved %d→%d, but only the new shard %d may receive keys",
+					n, k, before, after, n)
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		expected := 1 / float64(n+1)
+		if frac > 2*expected {
+			t.Errorf("n=%d: %.3f of keys moved, want ≈%.3f (≤2×)", n, frac, expected)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: no keys moved to the new shard at all", n)
+		}
+	}
+}
+
+// TestBoundedMovementOnShrink: shrinking removes exactly the dropped
+// shard's keys; every surviving shard keeps its keys.
+func TestBoundedMovementOnShrink(t *testing.T) {
+	keys := workloadKeys(5000)
+	old := New(9)
+	shrunk := old.Resize(8)
+	for _, k := range keys {
+		before, after := old.Shard(k), shrunk.Shard(k)
+		if before != 8 && before != after {
+			t.Fatalf("key %q moved %d→%d although its shard survived the shrink", k, before, after)
+		}
+		if before == 8 && after == 8 {
+			t.Fatalf("key %q still routed to removed shard 8", k)
+		}
+	}
+}
