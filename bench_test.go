@@ -319,6 +319,23 @@ func BenchmarkFigCache(b *testing.B) {
 	})
 }
 
+// --- Scan-split packing (dispatch bound, packed vs per-block) ---
+
+func BenchmarkFigDispatch(b *testing.B) {
+	benchFigure(b, "FigDispatch", func() (*experiments.Figure, error) {
+		rep, err := benchRunner().ExpDispatch(experiments.UserVisits, 0)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Figure(), nil
+	}, func(f *experiments.Figure) {
+		metric(b, f, "tasks cut [x]", "adaptive-job1", "job1_task_reduction_x")
+		metric(b, f, "tasks cut [x]", "cache-hot", "hot_task_reduction_x")
+		metric(b, f, "per-block [s]", "cache-hot", "hot_perblock_s")
+		metric(b, f, "packed [s]", "cache-hot", "hot_packed_s")
+	})
+}
+
 // --- Related work (§5): full-text indexing comparison ---
 
 func BenchmarkSection5FullTextComparison(b *testing.B) {

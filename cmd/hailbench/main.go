@@ -6,6 +6,7 @@
 //	hailbench [-quick] [-only Fig4a,Fig6a,...] [-json out.json]
 //	hailbench [-quick] -adaptive [-offer-rate 0.25] [-jobs 8] [-workload Synthetic] [-adaptive-budget N]
 //	hailbench [-quick] -cache [-cache-budget N] [-offer-rate 0.25] [-jobs 6] [-workload UserVisits]
+//	hailbench [-quick] -cache -pack-scans [-cache-budget N] [-workload UserVisits]
 //
 // With no flags it runs every paper experiment at full fidelity (~64
 // partitions per block), printing each figure as an aligned table of
@@ -24,6 +25,13 @@
 // then the adaptive indexer is switched on so its replica conversions
 // invalidate affected entries — every job verified result-equivalent to
 // uncached execution.
+//
+// -cache -pack-scans runs the scan-split packing (dispatch) experiment
+// instead: the adaptive job-1 and cache-hot workloads execute with
+// per-block and with packed scan splits, reporting dispatch counts and
+// simulated wall time for both, gated on byte-equivalent results; a
+// final phase kills a packed split's pinned node mid-job and verifies
+// the job completes with only the affected blocks re-resolved.
 //
 // -json writes the run's report (figures, adaptive or cache trajectory)
 // as JSON to the given path — CI uploads these as BENCH_*.json artifacts
@@ -53,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	only := fs.String("only", "", "comma-separated experiment IDs (e.g. Fig4a,Fig6a)")
 	adaptiveMode := fs.Bool("adaptive", false, "run the adaptive-indexing experiment")
 	cacheMode := fs.Bool("cache", false, "run the result-cache trajectory experiment")
+	packScans := fs.Bool("pack-scans", false, "with -cache: run the scan-split packing (dispatch) experiment instead of the cache trajectory")
 	offerRate := fs.Float64("offer-rate", 0.25, "adaptive/cache: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
 	jobs := fs.Int("jobs", 8, "adaptive/cache: number of identical jobs in the sequence")
 	workloadName := fs.String("workload", "UserVisits", "adaptive/cache: workload (UserVisits or Synthetic)")
@@ -89,8 +98,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if !*cacheMode {
-		if stray := cliutil.Stray(fs, "cache-budget"); len(stray) > 0 {
+		if stray := cliutil.Stray(fs, "cache-budget", "pack-scans"); len(stray) > 0 {
 			return fmt.Errorf("%w: %s only applies with -cache", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if *packScans {
+		// The dispatch experiment fixes its own job sequence and never
+		// converts blocks; reject flags it would silently ignore.
+		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s does not combine with -pack-scans", errUsage, strings.Join(stray, ", "))
 		}
 	}
 
@@ -118,6 +134,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		r.AdaptiveBudget = *adaptiveBudget
 		start := time.Now()
+		if *cacheMode && *packScans {
+			rep, err := r.ExpDispatch(w, *cacheBudget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprintf(stdout, "(FigDispatch computed in %.1fs real time)\n", time.Since(start).Seconds())
+			return writeJSON(rep)
+		}
 		if *cacheMode {
 			rep, err := r.ExpCache(w, *jobs, *cacheBudget, adaptive.RateFromFlag(*offerRate))
 			if err != nil {

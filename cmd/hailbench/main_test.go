@@ -71,6 +71,56 @@ func TestBenchCacheSmoke(t *testing.T) {
 	}
 }
 
+// TestBenchDispatchSmoke drives the scan-split packing experiment end to
+// end: -cache -pack-scans runs the packed-vs-unpacked comparison with its
+// failover phase and writes the dispatch JSON artifact.
+func TestBenchDispatchSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_dispatch.json")
+	var out, errb bytes.Buffer
+	err := run([]string{"-quick", "-cache", "-pack-scans", "-json", jsonPath}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FigDispatch", "adaptive-job1", "cache-hot", "failover:", "byte-equivalent"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	var rep experiments.DispatchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON artifact: %v", err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("artifact has %d scenarios, want 2", len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.TaskReduction < 4 {
+			t.Errorf("%s: task reduction %.1fx < 4x", sc.Name, sc.TaskReduction)
+		}
+	}
+	if rep.Failover.TasksRepacked == 0 {
+		t.Error("artifact failover phase repacked nothing")
+	}
+}
+
+func TestBenchDispatchBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-pack-scans"}, &out, &errb); err == nil {
+		t.Error("accepted -pack-scans without -cache")
+	}
+	if err := run([]string{"-cache", "-pack-scans", "-jobs", "3"}, &out, &errb); err == nil {
+		t.Error("accepted -jobs with -pack-scans")
+	}
+	if err := run([]string{"-cache", "-pack-scans", "-offer-rate", "0.5"}, &out, &errb); err == nil {
+		t.Error("accepted -offer-rate with -pack-scans")
+	}
+}
+
 func TestBenchCacheBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run([]string{"-cache", "-adaptive"}, &out, &errb); err == nil {

@@ -145,6 +145,53 @@ func TestQueryCacheSmoke(t *testing.T) {
 	}
 }
 
+// TestQueryPackScans: -pack-scans packs the scan splits of an unindexed
+// filter into per-node splits — fewer map tasks, identical rows — and
+// -stats reports the split phase's namenode directory ops.
+func TestQueryPackScans(t *testing.T) {
+	dir := makeFS(t, 3000)
+	query := func(extra ...string) (string, int, int) {
+		t.Helper()
+		args := append([]string{
+			"-fs", dir, "-name", "/t",
+			"-q", `@HailQuery(filter="@3 between(2,5)", projection={@1})`,
+			"-stats", "-limit", "1",
+		}, extra...)
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run %v: %v (stderr: %s)", extra, err, errb.String())
+		}
+		s := out.String()
+		for _, line := range strings.Split(s, "\n") {
+			var rows, tasks int
+			if _, err := fmt.Sscanf(line, "-- %d rows, %d map tasks", &rows, &tasks); err == nil {
+				return s, rows, tasks
+			}
+		}
+		t.Fatalf("no row-count line in output:\n%s", s)
+		return s, 0, 0
+	}
+
+	_, rows, tasks := query()
+	packedOut, packedRows, packedTasks := query("-pack-scans")
+	if packedRows != rows {
+		t.Errorf("-pack-scans changed the result: %d rows vs %d", packedRows, rows)
+	}
+	if packedTasks >= tasks {
+		t.Errorf("-pack-scans dispatched %d tasks, unpacked %d; want fewer", packedTasks, tasks)
+	}
+	if !strings.Contains(packedOut, "split phase:") || !strings.Contains(packedOut, "namenode directory ops") {
+		t.Errorf("-stats missing split-phase namenode ops line:\n%s", packedOut)
+	}
+
+	// -pack-scans composes with -cache (fully-cached blocks pack at their
+	// cached replica; within one invocation this is just a smoke path).
+	_, cachedRows, _ := query("-pack-scans", "-cache")
+	if cachedRows != rows {
+		t.Errorf("-pack-scans -cache changed the result: %d rows vs %d", cachedRows, rows)
+	}
+}
+
 // TestQueryAdaptiveBudgetDeniesBuilds: a tiny -adaptive-budget lets the
 // first conversion through and then refuses the rest.
 func TestQueryAdaptiveBudgetDeniesBuilds(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/hdfs"
 	"repro/internal/mapred"
@@ -38,6 +39,29 @@ type InputFormat struct {
 	// record index demand and to plan lazy index creation during the job
 	// (LIAH-style); nil keeps the static HAIL behaviour.
 	Adaptive AdaptiveObserver
+	// PackScans extends packing to the blocks §4.3 leaves per-block:
+	// blocks with no usable index — and, when CachedReplica is wired,
+	// blocks whose map output the result cache already holds — are grouped
+	// by a preferred alive replica node and packed into SplitsPerNode
+	// splits per node, exactly the HailSplitting shape. This removes the
+	// per-task dispatch bound from adaptive job 1 (nothing indexed yet)
+	// and from fully-cached hot jobs (~zero map work per block). Packing
+	// trades away the one-block failover granularity of per-block scan
+	// splits; the engine compensates by repacking a failed packed split
+	// and re-executing only the affected blocks (mapred.Split.Fallback).
+	PackScans bool
+	// CachedReplica, if set alongside PackScans, reports whether the
+	// block-level result cache already holds this block's output for the
+	// job's query, and at which replica node. Fully-cached blocks are
+	// packed pinned at that replica — even blocks whose only claim to
+	// packing is that their work is already done (qcache.CachedReplica is
+	// the canonical implementation).
+	CachedReplica func(b hdfs.BlockID) (hdfs.NodeID, bool)
+
+	// nnOps counts the namenode directory lookups of the most recent
+	// Splits call; SplitPhaseStats reports it. Accessed atomically (plain
+	// int64 keeps the struct copyable for literal construction).
+	nnOps int64
 }
 
 // AdaptiveObserver is the adaptive indexing layer's view of the split
@@ -60,6 +84,7 @@ func (f *InputFormat) pickColumn(blocks []hdfs.BlockID, fallback bool) int {
 	}
 	for _, p := range f.Query.Filter {
 		for _, b := range blocks {
+			atomic.AddInt64(&f.nnOps, 1)
 			if len(f.Cluster.NameNode().GetHostsWithIndex(b, p.Column)) > 0 {
 				return p.Column
 			}
@@ -83,8 +108,14 @@ func (f *InputFormat) indexColumn(blocks []hdfs.BlockID) int {
 // splitIndexedHosts partitions the block's matching-index holders by
 // liveness. The real namenode drops heartbeat-lost datanodes from block
 // locations; Dir_rep entries for dead nodes remain (the node may return),
-// so liveness is applied at lookup time.
+// so liveness is applied at lookup time. Both partitions are sorted by
+// node ID: Dir_block keeps registration order, which is deterministic for
+// a static upload but lets the adaptive path's concurrently registered
+// replicas (and any future multi-writer path) leak arrival order into
+// replica pinning — sorting makes Replica[b] = hosts[0] a pure function
+// of the directory's contents.
 func (f *InputFormat) splitIndexedHosts(b hdfs.BlockID, col int) (alive, dead []hdfs.NodeID) {
+	atomic.AddInt64(&f.nnOps, 1)
 	for _, h := range f.Cluster.NameNode().GetHostsWithIndex(b, col) {
 		if dn, err := f.Cluster.DataNode(h); err == nil && dn.Alive() {
 			alive = append(alive, h)
@@ -92,14 +123,40 @@ func (f *InputFormat) splitIndexedHosts(b hdfs.BlockID, col int) (alive, dead []
 			dead = append(dead, h)
 		}
 	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
 	return alive, dead
 }
 
-// indexedHosts returns the block's matching-index holders, alive nodes
-// first.
+// scanHosts resolves a scan block's candidate locations: the replica
+// holders with dead nodes filtered out, in registration (pipeline) order.
+// When no holder is alive the full list is returned — the engine then
+// schedules availability-only and the read fails honestly — but a block
+// with any alive replica never hands the engine a dead-only location
+// list (the scan-split counterpart of splitIndexedHosts' liveness rule).
+func (f *InputFormat) scanHosts(b hdfs.BlockID) []hdfs.NodeID {
+	atomic.AddInt64(&f.nnOps, 1)
+	hosts := f.Cluster.NameNode().GetHosts(b)
+	alive := make([]hdfs.NodeID, 0, len(hosts))
+	for _, h := range hosts {
+		if dn, err := f.Cluster.DataNode(h); err == nil && dn.Alive() {
+			alive = append(alive, h)
+		}
+	}
+	if len(alive) > 0 {
+		return alive
+	}
+	return hosts
+}
+
+// indexedHosts returns the block's alive matching-index holders, sorted
+// by node ID. Dead holders are dropped entirely: a split pinned at (or
+// located on) a dead node is a promise the engine cannot keep, and a
+// block whose matching replicas are all unreachable degrades to a scan
+// split — the same call the adaptive path's partitionByIndex makes.
 func (f *InputFormat) indexedHosts(b hdfs.BlockID, col int) []hdfs.NodeID {
-	alive, dead := f.splitIndexedHosts(b, col)
-	return append(alive, dead...)
+	alive, _ := f.splitIndexedHosts(b, col)
+	return alive
 }
 
 // adaptiveTarget picks the filter column the adaptive layer should index
@@ -130,6 +187,7 @@ func (f *InputFormat) partitionByIndex(blocks []hdfs.BlockID, col int) (indexed,
 
 // Splits implements the split phase (§4.3).
 func (f *InputFormat) Splits(file string) ([]mapred.Split, error) {
+	atomic.StoreInt64(&f.nnOps, 1) // the FileBlocks lookup below
 	blocks, err := f.Cluster.NameNode().FileBlocks(file)
 	if err != nil {
 		return nil, err
@@ -155,34 +213,117 @@ func (f *InputFormat) Splits(file string) ([]mapred.Split, error) {
 
 // SplitPhaseStats: HAIL's split phase needs no block-header reads — all
 // index information lives in the namenode's Dir_rep (§6.4.1: HAIL "does
-// not have to read any block header to compute input splits").
-func (f *InputFormat) SplitPhaseStats() mapred.TaskStats { return mapred.TaskStats{} }
+// not have to read any block header to compute input splits"), so
+// BytesRead and Seeks stay zero by design. The phase is not free, though:
+// liveness-aware location resolution and especially the adaptive path
+// (partitionByIndex probes every block) are namenode directory lookups,
+// reported in NameNodeOps so the metadata cost of the latest Splits call
+// is measured rather than hidden behind a zero struct.
+func (f *InputFormat) SplitPhaseStats() mapred.TaskStats {
+	return mapred.TaskStats{NameNodeOps: int(atomic.LoadInt64(&f.nnOps))}
+}
 
-// scanSplits is the standard Hadoop fallback: one split per block, located
-// at any replica.
+// cachedAliveReplica is the packing probe for fully-cached blocks: the
+// replica node the result cache holds this block's output at, provided
+// packing is on, the probe is wired, and that node is alive.
+func (f *InputFormat) cachedAliveReplica(b hdfs.BlockID) (hdfs.NodeID, bool) {
+	if !f.PackScans || f.CachedReplica == nil {
+		return 0, false
+	}
+	n, ok := f.CachedReplica(b)
+	if !ok {
+		return 0, false
+	}
+	if dn, err := f.Cluster.DataNode(n); err != nil || !dn.Alive() {
+		return 0, false
+	}
+	return n, true
+}
+
+// scanSplits is the standard Hadoop fallback for blocks with no usable
+// index: one split per block located at the block's alive replicas — or,
+// with PackScans, SplitsPerNode packed splits per preferred node.
 func (f *InputFormat) scanSplits(blocks []hdfs.BlockID) []mapred.Split {
+	if f.PackScans {
+		return f.packScanSplits(blocks)
+	}
 	splits := make([]mapred.Split, 0, len(blocks))
 	for _, b := range blocks {
 		splits = append(splits, mapred.Split{
 			Blocks:    []hdfs.BlockID{b},
-			Locations: f.Cluster.NameNode().GetHosts(b),
+			Locations: f.scanHosts(b),
+		})
+	}
+	return splits
+}
+
+// packScanSplits is the PackScans policy: group scan blocks by a
+// preferred alive replica node — the cached replica when the result cache
+// already holds the block's output, the first alive holder otherwise —
+// and emit SplitsPerNode packed splits per node, the same clustering
+// shape hailSplits gives index-matched blocks. Blocks with no alive
+// replica keep a degenerate per-block split (nothing can read them until
+// a holder returns, and packing them would poison a whole packed split).
+func (f *InputFormat) packScanSplits(blocks []hdfs.BlockID) []mapred.Split {
+	groups := make(map[hdfs.NodeID][]hdfs.BlockID)
+	type looseSplit struct {
+		block hdfs.BlockID
+		hosts []hdfs.NodeID
+	}
+	var loose []looseSplit
+	for _, b := range blocks {
+		if n, ok := f.cachedAliveReplica(b); ok {
+			groups[n] = append(groups[n], b)
+			continue
+		}
+		hosts := f.scanHosts(b)
+		alive := false
+		if len(hosts) > 0 {
+			// scanHosts returns the dead-only fallback list when no
+			// holder is alive; probe the head to tell the cases apart.
+			if dn, err := f.Cluster.DataNode(hosts[0]); err == nil && dn.Alive() {
+				alive = true
+			}
+		}
+		if !alive {
+			loose = append(loose, looseSplit{b, hosts})
+			continue
+		}
+		groups[hosts[0]] = append(groups[hosts[0]], b)
+	}
+	splits := f.packGroups(groups)
+	for _, l := range loose {
+		splits = append(splits, mapred.Split{
+			Blocks:    []hdfs.BlockID{l.block},
+			Locations: l.hosts,
 		})
 	}
 	return splits
 }
 
 // perBlockIndexSplits keeps one split per block but points it at the
-// replica with the matching index.
+// replica with the matching index. With PackScans, the blocks that would
+// fall back to per-block scans — and fully-cached blocks, whose work is
+// already done wherever their index lives — are packed instead.
 func (f *InputFormat) perBlockIndexSplits(blocks []hdfs.BlockID, col int) []mapred.Split {
 	splits := make([]mapred.Split, 0, len(blocks))
+	var packable []hdfs.BlockID
 	for _, b := range blocks {
+		if _, ok := f.cachedAliveReplica(b); ok {
+			packable = append(packable, b)
+			continue
+		}
 		hosts := f.indexedHosts(b, col)
 		if len(hosts) == 0 {
 			// This block has no matching replica (e.g. written under a
 			// different config): full scan for it.
+			if f.PackScans {
+				packable = append(packable, b)
+				continue
+			}
 			splits = append(splits, mapred.Split{
 				Blocks:    []hdfs.BlockID{b},
-				Locations: f.Cluster.NameNode().GetHosts(b),
+				Locations: f.scanHosts(b),
 			})
 			continue
 		}
@@ -192,28 +333,21 @@ func (f *InputFormat) perBlockIndexSplits(blocks []hdfs.BlockID, col int) []mapr
 			Replica:   map[hdfs.BlockID]hdfs.NodeID{b: hosts[0]},
 		})
 	}
+	if len(packable) > 0 {
+		splits = append(splits, f.packScanSplits(packable)...)
+	}
 	return splits
 }
 
-// hailSplits implements HailSplitting (§4.3): cluster the blocks of the
-// input by locality — the node holding the replica with the matching index
-// — then create SplitsPerNode splits per cluster.
-func (f *InputFormat) hailSplits(blocks []hdfs.BlockID, col int) ([]mapred.Split, error) {
+// packGroups turns locality groups into SplitsPerNode packed splits per
+// node with every block pinned to its group node — the split shape shared
+// by hailSplits (§4.3) and packScanSplits. Split order is deterministic:
+// ascending node ID, then stride.
+func (f *InputFormat) packGroups(groups map[hdfs.NodeID][]hdfs.BlockID) []mapred.Split {
 	perNode := f.SplitsPerNode
 	if perNode <= 0 {
 		perNode = 2
 	}
-	groups := make(map[hdfs.NodeID][]hdfs.BlockID)
-	var scanBlocks []hdfs.BlockID
-	for _, b := range blocks {
-		hosts := f.indexedHosts(b, col)
-		if len(hosts) == 0 {
-			scanBlocks = append(scanBlocks, b)
-			continue
-		}
-		groups[hosts[0]] = append(groups[hosts[0]], b)
-	}
-	// Deterministic split order: by node ID.
 	nodes := make([]hdfs.NodeID, 0, len(groups))
 	for n := range groups {
 		nodes = append(nodes, n)
@@ -239,14 +373,27 @@ func (f *InputFormat) hailSplits(blocks []hdfs.BlockID, col int) ([]mapred.Split
 			splits = append(splits, split)
 		}
 	}
-	// Blocks with no usable index keep default per-block scan splits, so
-	// their failover properties are untouched.
-	for _, b := range scanBlocks {
-		splits = append(splits, mapred.Split{
-			Blocks:    []hdfs.BlockID{b},
-			Locations: f.Cluster.NameNode().GetHosts(b),
-		})
+	return splits
+}
+
+// hailSplits implements HailSplitting (§4.3): cluster the blocks of the
+// input by locality — the node holding the replica with the matching index
+// — then create SplitsPerNode splits per cluster.
+func (f *InputFormat) hailSplits(blocks []hdfs.BlockID, col int) ([]mapred.Split, error) {
+	groups := make(map[hdfs.NodeID][]hdfs.BlockID)
+	var scanBlocks []hdfs.BlockID
+	for _, b := range blocks {
+		hosts := f.indexedHosts(b, col)
+		if len(hosts) == 0 {
+			scanBlocks = append(scanBlocks, b)
+			continue
+		}
+		groups[hosts[0]] = append(groups[hosts[0]], b)
 	}
+	splits := f.packGroups(groups)
+	// Blocks with no usable index fall back to scan splits: per-block by
+	// default (failover properties untouched), packed under PackScans.
+	splits = append(splits, f.scanSplits(scanBlocks)...)
 	if len(splits) == 0 && len(blocks) > 0 {
 		return nil, fmt.Errorf("hail: splitting produced no splits for %d blocks", len(blocks))
 	}

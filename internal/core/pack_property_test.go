@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestPackingPolicyProperty is the packing-policy property test: under
+// random kill/revive sequences, every split policy (per-block scan,
+// packed scan, per-block indexed, HailSplitting, each with and without
+// PackScans) must
+//
+//  1. cover each input block exactly once — no duplicates, no drops;
+//  2. never hand the engine a dead-only location list (every block keeps
+//     at least one alive replica in these sequences);
+//  3. execute to the same row multiset as per-block execution on the
+//     healthy cluster — all replicas store the same logical block (§2.3),
+//     so neither packing nor failover may change a single result row.
+func TestPackingPolicyProperty(t *testing.T) {
+	seeds := 5
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			cluster, _, sum, _ := uvFixture(t, 3000, workload.UserVisitsOptions{NeedleEvery: 400})
+			queries := []*query.Query{
+				workload.BobQueries()[0].Query, // indexed attribute
+				scanOnlyQuery(),                // never-indexed attribute
+			}
+			policies := []InputFormat{
+				{},
+				{PackScans: true},
+				{Splitting: true, SplitsPerNode: 2},
+				{Splitting: true, SplitsPerNode: 2, PackScans: true},
+			}
+
+			// Healthy-cluster references, one per query, from the plain
+			// per-block policy.
+			refs := make([]map[string]int, len(queries))
+			for qi, q := range queries {
+				refs[qi] = outputMultiset(runHailQuery(t, cluster, "/uv", q, false))
+				if len(refs[qi]) == 0 {
+					t.Fatalf("query %d returned nothing on the healthy cluster", qi)
+				}
+			}
+
+			check := func(step string) {
+				for qi, q := range queries {
+					for pi, pol := range policies {
+						f := pol
+						f.Cluster, f.Query = cluster, q
+						splits, err := f.Splits("/uv")
+						if err != nil {
+							t.Fatalf("%s q%d p%d: %v", step, qi, pi, err)
+						}
+						assertCoverage(t, splits, sum.BlockIDs)
+						assertAliveLocations(t, cluster, splits)
+
+						e := &mapred.Engine{Cluster: cluster}
+						res, err := e.Run(&mapred.Job{
+							Name: "prop", File: "/uv", Input: &f, Map: workload.PassthroughMap,
+						})
+						if err != nil {
+							t.Fatalf("%s q%d p%d: %v", step, qi, pi, err)
+						}
+						got := outputMultiset(res)
+						if len(got) != len(refs[qi]) {
+							t.Fatalf("%s q%d p%d: %d distinct rows, want %d", step, qi, pi, len(got), len(refs[qi]))
+						}
+						for k, v := range refs[qi] {
+							if got[k] != v {
+								t.Fatalf("%s q%d p%d: result diverged for %q", step, qi, pi, k)
+							}
+						}
+					}
+				}
+			}
+
+			// Random kill/revive walk. With 4 nodes and replication 3, any
+			// 2 dead nodes still leave every block an alive replica.
+			dead := map[hdfs.NodeID]bool{}
+			for step := 0; step < 4; step++ {
+				if len(dead) < 2 && (len(dead) == 0 || rng.Intn(2) == 0) {
+					for {
+						n := hdfs.NodeID(rng.Intn(cluster.NumNodes()))
+						if !dead[n] {
+							if err := cluster.KillNode(n); err != nil {
+								t.Fatal(err)
+							}
+							dead[n] = true
+							break
+						}
+					}
+				} else {
+					for n := range dead {
+						if err := cluster.ReviveNode(n); err != nil {
+							t.Fatal(err)
+						}
+						delete(dead, n)
+						break
+					}
+				}
+				check(fmt.Sprintf("step%d(dead=%d)", step, len(dead)))
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/hdfs"
@@ -12,11 +13,17 @@ import (
 // TaskReport is the outcome of one map task.
 type TaskReport struct {
 	TaskID   int
-	Split    Split
+	Split    Split       // the split as finally executed (repacked on failover)
 	Node     hdfs.NodeID // node the task finally ran on
 	Stats    TaskStats
 	Attempts int  // 1 = first attempt succeeded
 	Local    bool // ran on one of the split's preferred locations
+	// Repacks counts the times the split's dead replica pins were
+	// re-resolved via Split.Fallback (packed-split failover).
+	Repacks int
+	// BlocksRerun counts block executions repeated after a mid-split
+	// failure; 0 means every block of the split ran exactly once.
+	BlocksRerun int
 }
 
 // JobResult is the full outcome of a job run.
@@ -26,6 +33,13 @@ type JobResult struct {
 	SplitPhase TaskStats // I/O performed during the split phase
 	// ReExecuted counts task attempts lost to node failures and retried.
 	ReExecuted int
+	// Repacked counts tasks whose packed split had dead replica pins
+	// re-resolved mid-job (Split.Fallback); BlocksRerun sums the block
+	// executions those failovers repeated. Together they bound the cost of
+	// a node loss under packed scan splits: the job re-resolves only the
+	// affected blocks instead of rescanning whole splits.
+	Repacked    int
+	BlocksRerun int
 }
 
 // TotalStats sums all task stats.
@@ -93,6 +107,7 @@ type Engine struct {
 // opener. nil means the job runs uncached.
 type cacheContext struct {
 	cache    ResultCache
+	sc       SplitCache // non-nil when the cache admits whole packed splits
 	opener   BlockOpener
 	nn       *hdfs.NameNode
 	file     string
@@ -122,8 +137,9 @@ func (e *Engine) cacheContext(job *Job) *cacheContext {
 	if !ok {
 		return nil
 	}
+	sc, _ := e.Cache.(SplitCache)
 	return &cacheContext{
-		cache: e.Cache, opener: opener, nn: e.Cluster.NameNode(),
+		cache: e.Cache, sc: sc, opener: opener, nn: e.Cluster.NameNode(),
 		file: job.File, querySig: sig, mapSig: job.MapSig,
 	}
 }
@@ -144,39 +160,79 @@ func (cc *cacheContext) key(split Split, b hdfs.BlockID, runOn hdfs.NodeID) Cach
 	}
 }
 
-// readSplit executes one split block by block against the cache: hits
-// replay the block's map output without touching storage, misses run the
-// real record reader and admit their output. Block order is preserved, so
-// the task's output is byte-identical to an uncached run.
-func (cc *cacheContext) readSplit(job *Job, split Split, runOn hdfs.NodeID) (TaskStats, []KV, error) {
-	var stats TaskStats
-	var kvs []KV
+// splitKey builds the split-level cache key for a packed split. ok is
+// false when the split is not split-cacheable: fewer than two blocks, or
+// blocks not all pinned to one replica node (a Fallback repack produces
+// mixed pins — such a split falls back to per-block entries, which remain
+// correct at any pinning).
+func (cc *cacheContext) splitKey(split Split) (SplitCacheKey, bool) {
+	if len(split.Blocks) < 2 {
+		return SplitCacheKey{}, false
+	}
+	var rep hdfs.NodeID
+	for i, b := range split.Blocks {
+		r, ok := split.Replica[b]
+		if !ok || (i > 0 && r != rep) {
+			return SplitCacheKey{}, false
+		}
+		rep = r
+	}
+	ids := make([]int64, 0, len(split.Blocks))
 	for _, b := range split.Blocks {
+		ids = append(ids, int64(b))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sig strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			sig.WriteByte(',')
+		}
+		fmt.Fprintf(&sig, "%d:%d", id, cc.nn.Generation(hdfs.BlockID(id)))
+	}
+	return SplitCacheKey{
+		File: cc.file, BlockSig: sig.String(),
+		Query: cc.querySig, MapSig: cc.mapSig, Replica: rep,
+	}, true
+}
+
+// blockOut is one block's completed execution within a task: its map
+// output and the stats it cost. runTask keeps them per block so a
+// mid-split failure re-executes only the blocks that are not yet done.
+type blockOut struct {
+	kvs   []KV
+	stats TaskStats
+}
+
+// runBlock executes one block of a split on runOn. With a cache context
+// the block goes through the result cache (a hit replays the stored map
+// output without touching storage, a miss computes and admits it);
+// without one it runs through the input format's per-block reader.
+func runBlock(job *Job, cc *cacheContext, opener BlockOpener, split Split, b hdfs.BlockID, runOn hdfs.NodeID) (blockOut, error) {
+	var key CacheKey
+	if cc != nil {
 		// The generation is read once and used for both Get and Put: if a
 		// concurrent replica change bumps it mid-read, the admitted entry
 		// is keyed at the old generation and simply never found again.
-		key := cc.key(split, b, runOn)
+		key = cc.key(split, b, runOn)
 		if ckvs, _, ok := cc.cache.Get(key); ok {
-			kvs = append(kvs, ckvs...)
-			stats.Blocks++
-			stats.BlocksFromCache++
-			continue
+			return blockOut{kvs: ckvs, stats: TaskStats{Blocks: 1, BlocksFromCache: 1}}, nil
 		}
-		rr, err := cc.opener.OpenBlock(split, b, runOn)
-		if err != nil {
-			return stats, nil, err
-		}
-		var bkvs []KV
-		emit := func(k, v string) { bkvs = append(bkvs, KV{k, v}) }
-		bstats, err := rr.Read(func(r Record) { job.Map(r, emit) })
-		if err != nil {
-			return stats, nil, err
-		}
-		cc.cache.Put(key, bkvs, bstats)
-		stats.Add(bstats)
-		kvs = append(kvs, bkvs...)
+		opener = cc.opener
 	}
-	return stats, kvs, nil
+	rr, err := opener.OpenBlock(split, b, runOn)
+	if err != nil {
+		return blockOut{}, err
+	}
+	var bkvs []KV
+	emit := func(k, v string) { bkvs = append(bkvs, KV{k, v}) }
+	bstats, err := rr.Read(func(r Record) { job.Map(r, emit) })
+	if err != nil {
+		return blockOut{}, err
+	}
+	if cc != nil {
+		cc.cache.Put(key, bkvs, bstats)
+	}
+	return blockOut{kvs: bkvs, stats: bstats}, nil
 }
 
 // Run executes the job: split phase, map phase with locality scheduling
@@ -244,6 +300,10 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 		if o.report.Attempts > 1 {
 			res.ReExecuted += o.report.Attempts - 1
 		}
+		if o.report.Repacks > 0 {
+			res.Repacked++
+		}
+		res.BlocksRerun += o.report.BlocksRerun
 		mapOut = append(mapOut, o.kvs...)
 	}
 
@@ -303,17 +363,42 @@ func (e *Engine) schedule(splits []Split) []hdfs.NodeID {
 	return out
 }
 
-// runTask executes one map task, retrying on another node when the
-// assigned node (or a replica it reads) dies mid-task. Retries model
-// Hadoop's task re-execution after the expiry interval. With a cache
-// context the split is read block by block through the result cache;
-// otherwise the whole split runs through the input format's reader.
+// runTask executes one map task, retrying when the assigned node (or a
+// replica it reads) dies mid-task. Retries model Hadoop's task
+// re-execution after the expiry interval, with one HAIL-specific upgrade
+// for packed splits: a packed split runs block by block (through the
+// result cache when one is wired, through the input format's BlockOpener
+// otherwise), so when a pinned replica node dies mid-task the split is
+// repacked via Split.Fallback and only the blocks not yet done are
+// re-executed — a node loss no longer forces rescanning a whole packed
+// split elsewhere. Input formats without a BlockOpener keep the
+// historical whole-split retry.
 func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, node hdfs.NodeID) (TaskReport, []KV, error) {
 	const maxAttempts = 4
+	opener, _ := job.Input.(BlockOpener)
+	blockwise := cc != nil || (opener != nil && len(split.Blocks) > 1)
+	var done map[hdfs.BlockID]blockOut
+	var attempted map[hdfs.BlockID]bool
+	if blockwise {
+		done = make(map[hdfs.BlockID]blockOut, len(split.Blocks))
+		attempted = make(map[hdfs.BlockID]bool, len(split.Blocks))
+	}
+	var repacks, rerun int
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		// Packed-split failover: if any pinned replica node has died —
+		// whether mid-task or between the split phase and now — re-resolve
+		// the affected blocks' replicas via the namenode instead of
+		// retrying against a pin that can never be read again.
+		if e.deadPins(split) > 0 {
+			var repinned int
+			split, repinned = split.Fallback(e.Cluster.NameNode(), e.nodeAlive)
+			if repinned > 0 {
+				repacks++
+			}
+		}
 		runOn := node
-		if dn, err := e.Cluster.DataNode(runOn); err != nil || !dn.Alive() {
+		if !e.nodeAlive(runOn) {
 			runOn = e.pickAliveFallback(split)
 			if runOn == -1 {
 				return TaskReport{}, nil, fmt.Errorf("mapred: no alive node for task %d", taskID)
@@ -322,8 +407,8 @@ func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, no
 		var stats TaskStats
 		var kvs []KV
 		var err error
-		if cc != nil {
-			stats, kvs, err = cc.readSplit(job, split, runOn)
+		if blockwise {
+			stats, kvs, err = e.runTaskBlocks(job, cc, opener, split, runOn, done, attempted, &rerun)
 		} else {
 			var rr RecordReader
 			rr, err = job.Input.Open(split, runOn)
@@ -352,20 +437,88 @@ func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, no
 			}
 		}
 		return TaskReport{
-			TaskID:   taskID,
-			Split:    split,
-			Node:     runOn,
-			Stats:    stats,
-			Attempts: attempt,
-			Local:    local,
+			TaskID:      taskID,
+			Split:       split,
+			Node:        runOn,
+			Stats:       stats,
+			Attempts:    attempt,
+			Local:       local,
+			Repacks:     repacks,
+			BlocksRerun: rerun,
 		}, kvs, nil
 	}
 	return TaskReport{}, nil, fmt.Errorf("mapred: task %d failed after %d attempts: %v", taskID, maxAttempts, lastErr)
 }
 
+// runTaskBlocks is runTask's block-wise attempt: it executes the split's
+// not-yet-done blocks in order, recording each completed block in done so
+// a retry skips it. A fully split-cached packed split is answered with a
+// single split-level lookup; a computed packed split is admitted at split
+// level on the way out. The assembled output preserves split block order,
+// so it is byte-identical to a whole-split read.
+func (e *Engine) runTaskBlocks(job *Job, cc *cacheContext, opener BlockOpener, split Split, runOn hdfs.NodeID,
+	done map[hdfs.BlockID]blockOut, attempted map[hdfs.BlockID]bool, rerun *int) (TaskStats, []KV, error) {
+
+	var skey SplitCacheKey
+	splitCacheable := false
+	if cc != nil && cc.sc != nil && len(done) == 0 {
+		if k, ok := cc.splitKey(split); ok {
+			if ckvs, _, hit := cc.sc.GetSplit(k); hit {
+				return TaskStats{
+					Blocks:          len(split.Blocks),
+					BlocksFromCache: len(split.Blocks),
+				}, ckvs, nil
+			}
+			skey, splitCacheable = k, true
+		}
+	}
+	for _, b := range split.Blocks {
+		if _, ok := done[b]; ok {
+			continue
+		}
+		if attempted[b] {
+			*rerun++
+		}
+		attempted[b] = true
+		out, err := runBlock(job, cc, opener, split, b, runOn)
+		if err != nil {
+			return TaskStats{}, nil, err
+		}
+		done[b] = out
+	}
+	var stats TaskStats
+	var kvs []KV
+	for _, b := range split.Blocks {
+		o := done[b]
+		stats.Add(o.stats)
+		kvs = append(kvs, o.kvs...)
+	}
+	if splitCacheable {
+		cc.sc.PutSplit(skey, split.Blocks, kvs, stats)
+	}
+	return stats, kvs, nil
+}
+
+// nodeAlive reports whether the node exists and is up.
+func (e *Engine) nodeAlive(n hdfs.NodeID) bool {
+	dn, err := e.Cluster.DataNode(n)
+	return err == nil && dn.Alive()
+}
+
+// deadPins counts the split's blocks whose pinned replica node is dead.
+func (e *Engine) deadPins(split Split) int {
+	n := 0
+	for _, node := range split.Replica {
+		if !e.nodeAlive(node) {
+			n++
+		}
+	}
+	return n
+}
+
 func (e *Engine) pickAliveFallback(split Split) hdfs.NodeID {
 	for _, loc := range split.Locations {
-		if dn, err := e.Cluster.DataNode(loc); err == nil && dn.Alive() {
+		if e.nodeAlive(loc) {
 			return loc
 		}
 	}

@@ -14,6 +14,8 @@
 package mapred
 
 import (
+	"sort"
+
 	"repro/internal/hdfs"
 	"repro/internal/pax"
 	"repro/internal/schema"
@@ -74,6 +76,12 @@ type TaskStats struct {
 	// block-level result cache: the block contributes no read I/O or
 	// record CPU to the task, only its (replayed) output.
 	BlocksFromCache int
+	// NameNodeOps counts namenode directory lookups (FileBlocks, GetHosts,
+	// GetHostsWithIndex) performed on behalf of the work. Today only the
+	// split phase reports it: HAIL reads no block headers at split time
+	// (§6.4.1), but the adaptive path does per-block directory lookups,
+	// and those must be measured rather than hidden behind a zero struct.
+	NameNodeOps int
 }
 
 // Add accumulates other into s.
@@ -92,6 +100,7 @@ func (s *TaskStats) Add(other TaskStats) {
 	s.RemoteReads += other.RemoteReads
 	s.OutputBytes += other.OutputBytes
 	s.BlocksFromCache += other.BlocksFromCache
+	s.NameNodeOps += other.NameNodeOps
 }
 
 // AddIO folds a PAX reader's I/O statistics into the task stats.
@@ -102,7 +111,8 @@ func (s *TaskStats) AddIO(io pax.IOStats) {
 
 // Split is one unit of map-task input (§4.2). The default Hadoop policy
 // creates one split per block; HailSplitting packs many blocks of one
-// locality group into a single split (§4.3).
+// locality group into a single split (§4.3), and the PackScans policy
+// extends the same shape to scan and fully-cached blocks.
 type Split struct {
 	Blocks []hdfs.BlockID
 	// Locations are the candidate nodes for scheduling this split, best
@@ -113,6 +123,73 @@ type Split struct {
 	// consult it to open the replica with the right clustered index; a
 	// missing entry means any replica will do.
 	Replica map[hdfs.BlockID]hdfs.NodeID
+}
+
+// Fallback re-resolves the split's replica pinning against the namenode
+// after a node loss: every block whose pinned node fails the alive
+// predicate is re-pinned, per block, to the block's first alive replica
+// holder (registration order, the pipeline's locality preference); a
+// block with no alive holder loses its pin so the reader degrades to
+// any-replica resolution. Locations are recomputed from the surviving
+// pins — most-pinned node first, ties by ascending ID — so the packed
+// split keeps a meaningful scheduling preference. Packing trades away the
+// one-block failover granularity of per-block scan splits; this is the
+// compensating move: the engine repacks a failed packed split and re-runs
+// only the blocks that were actually affected, instead of failing the
+// task or rescanning the whole split elsewhere. Returns the repacked
+// split and the number of blocks whose pin changed.
+func (s Split) Fallback(nn *hdfs.NameNode, alive func(hdfs.NodeID) bool) (Split, int) {
+	out := s
+	out.Replica = make(map[hdfs.BlockID]hdfs.NodeID, len(s.Replica))
+	repinned := 0
+	for _, b := range s.Blocks {
+		n, pinned := s.Replica[b]
+		if !pinned {
+			continue // unpinned blocks already resolve any-replica
+		}
+		if alive(n) {
+			out.Replica[b] = n
+			continue
+		}
+		repinned++
+		for _, h := range nn.GetHosts(b) {
+			if alive(h) {
+				out.Replica[b] = h
+				break
+			}
+		}
+	}
+	// Recompute the scheduling preference from the surviving pins.
+	counts := make(map[hdfs.NodeID]int)
+	for _, n := range out.Replica {
+		counts[n]++
+	}
+	if len(counts) > 0 {
+		nodes := make([]hdfs.NodeID, 0, len(counts))
+		for n := range counts {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool {
+			if counts[nodes[i]] != counts[nodes[j]] {
+				return counts[nodes[i]] > counts[nodes[j]]
+			}
+			return nodes[i] < nodes[j]
+		})
+		out.Locations = nodes
+		return out, repinned
+	}
+	// No pins survive: keep the alive subset of the old locations (the
+	// scheduler falls back to availability-only when none is left).
+	var locs []hdfs.NodeID
+	for _, n := range s.Locations {
+		if alive(n) {
+			locs = append(locs, n)
+		}
+	}
+	if len(locs) > 0 {
+		out.Locations = locs
+	}
+	return out, repinned
 }
 
 // InputFormat computes splits for a file and opens record readers for
@@ -182,6 +259,35 @@ type CacheKey struct {
 type ResultCache interface {
 	Get(k CacheKey) ([]KV, TaskStats, bool)
 	Put(k CacheKey, kvs []KV, stats TaskStats)
+}
+
+// SplitCacheKey identifies the cached output of one packed split. BlockSig
+// is the canonical identity of the split's block set: the ascending
+// "block:generation" list joined with commas. Embedding every member
+// block's generation — not just the maximum — makes any replica-topology
+// change in the set unreachable (a bump below the maximum would leave the
+// maximum, and a max-only key, unchanged). Replica is the node all of the
+// split's blocks are pinned to; a split with mixed or missing pins (e.g.
+// after a Fallback repack) is not split-cacheable and falls back to
+// per-block entries.
+type SplitCacheKey struct {
+	File     string
+	BlockSig string
+	Query    string
+	MapSig   string
+	Replica  hdfs.NodeID
+}
+
+// SplitCache is implemented by result caches that additionally admit the
+// whole output of a packed split under one key, so a fully-cached packed
+// split replays with a single lookup instead of one per block — the
+// admission granularity that keeps dispatch-bound hot jobs cheap once
+// scan splits are packed. PutSplit receives the member blocks alongside
+// the key so the cache can index the entry per block (for invalidation)
+// without re-parsing the key's signature.
+type SplitCache interface {
+	GetSplit(k SplitCacheKey) ([]KV, TaskStats, bool)
+	PutSplit(k SplitCacheKey, blocks []hdfs.BlockID, kvs []KV, stats TaskStats)
 }
 
 // Job describes one MapReduce job.

@@ -1,0 +1,198 @@
+package mapred
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/hdfs"
+)
+
+// fakeBlockInput is a fakeInput whose reader works block by block and
+// fails when a block's pinned replica node is dead — the shape the engine
+// needs to exercise packed-split repacking. It implements BlockOpener, so
+// multi-block splits run block-wise with per-block retry.
+type fakeBlockInput struct {
+	fakeInput
+	mu sync.Mutex
+	// blockOpens counts OpenBlock calls per block.
+	blockOpens map[hdfs.BlockID]int
+	// failBlocks makes the read of a block fail once, then succeed.
+	failOnce map[hdfs.BlockID]bool
+}
+
+func (f *fakeBlockInput) OpenBlock(split Split, b hdfs.BlockID, node hdfs.NodeID) (RecordReader, error) {
+	f.mu.Lock()
+	if f.blockOpens == nil {
+		f.blockOpens = make(map[hdfs.BlockID]int)
+	}
+	f.blockOpens[b]++
+	f.mu.Unlock()
+	sub := split
+	sub.Blocks = []hdfs.BlockID{b}
+	return &fakeBlockReader{input: f, split: sub, block: b, node: node}, nil
+}
+
+type fakeBlockReader struct {
+	input *fakeBlockInput
+	split Split
+	block hdfs.BlockID
+	node  hdfs.NodeID
+}
+
+func (r *fakeBlockReader) Read(fn func(Record)) (TaskStats, error) {
+	f := r.input
+	f.mu.Lock()
+	if f.failOnce[r.block] {
+		delete(f.failOnce, r.block)
+		f.mu.Unlock()
+		return TaskStats{}, fmt.Errorf("block %d read failed (injected)", r.block)
+	}
+	f.mu.Unlock()
+	// A pinned replica on a dead node is unreadable.
+	if pin, ok := r.split.Replica[r.block]; ok {
+		dn, err := f.cluster.DataNode(pin)
+		if err != nil || !dn.Alive() {
+			return TaskStats{}, fmt.Errorf("block %d: pinned replica on dead node %d", r.block, pin)
+		}
+	}
+	var stats TaskStats
+	stats.Blocks++
+	for _, rec := range f.records[r.block] {
+		stats.RecordsScanned++
+		stats.RecordsDelivered++
+		fn(rec)
+	}
+	return stats, nil
+}
+
+// packedFixture builds a cluster whose namenode knows two replicas per
+// block, plus one packed split pinning every block to pin.
+func packedFixture(t *testing.T, nodes, blocks int, pin, backup hdfs.NodeID) (*hdfs.Cluster, *fakeBlockInput) {
+	t.Helper()
+	c, err := hdfs.NewCluster(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeBlockInput{}
+	f.cluster = c
+	f.records = make(map[hdfs.BlockID][]Record)
+	split := Split{Locations: []hdfs.NodeID{pin}, Replica: make(map[hdfs.BlockID]hdfs.NodeID)}
+	for b := 0; b < blocks; b++ {
+		id := hdfs.BlockID(b)
+		c.NameNode().RegisterReplica(id, pin, hdfs.ReplicaInfo{})
+		c.NameNode().RegisterReplica(id, backup, hdfs.ReplicaInfo{})
+		for i := 0; i < 3; i++ {
+			f.records[id] = append(f.records[id], Record{Raw: fmt.Sprintf("b%d-r%d", b, i)})
+		}
+		split.Blocks = append(split.Blocks, id)
+		split.Replica[id] = pin
+	}
+	f.splits = []Split{split}
+	return c, f
+}
+
+// TestSplitFallbackRepinsOnlyDeadPins: Split.Fallback re-resolves exactly
+// the blocks pinned to dead nodes, leaves alive pins untouched, and
+// recomputes the locations from the surviving pins.
+func TestSplitFallbackRepinsOnlyDeadPins(t *testing.T) {
+	c, err := hdfs.NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := c.NameNode()
+	// Blocks 0,1 replicated on {1,2}; block 2 on {3}.
+	for _, b := range []hdfs.BlockID{0, 1} {
+		nn.RegisterReplica(b, 1, hdfs.ReplicaInfo{})
+		nn.RegisterReplica(b, 2, hdfs.ReplicaInfo{})
+	}
+	nn.RegisterReplica(2, 3, hdfs.ReplicaInfo{})
+	split := Split{
+		Blocks:    []hdfs.BlockID{0, 1, 2},
+		Locations: []hdfs.NodeID{1},
+		Replica:   map[hdfs.BlockID]hdfs.NodeID{0: 1, 1: 1, 2: 3},
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	alive := func(n hdfs.NodeID) bool {
+		dn, err := c.DataNode(n)
+		return err == nil && dn.Alive()
+	}
+	out, repinned := split.Fallback(nn, alive)
+	if repinned != 2 {
+		t.Fatalf("repinned = %d, want 2", repinned)
+	}
+	if out.Replica[0] != 2 || out.Replica[1] != 2 {
+		t.Errorf("blocks 0,1 re-pinned to %d,%d, want 2,2", out.Replica[0], out.Replica[1])
+	}
+	if out.Replica[2] != 3 {
+		t.Errorf("block 2's alive pin changed to %d", out.Replica[2])
+	}
+	// Locations: node 2 carries two pins, node 3 one.
+	if len(out.Locations) != 2 || out.Locations[0] != 2 || out.Locations[1] != 3 {
+		t.Errorf("locations = %v, want [2 3]", out.Locations)
+	}
+	// The original split is untouched (Fallback returns a copy).
+	if split.Replica[0] != 1 {
+		t.Error("Fallback mutated the original split")
+	}
+}
+
+// TestPackedSplitRepackedWhenPinDies: a packed split whose pinned node is
+// dead by execution time is repacked before any read — the task succeeds
+// on the first attempt with zero re-executed blocks.
+func TestPackedSplitRepackedWhenPinDies(t *testing.T) {
+	c, f := packedFixture(t, 4, 6, 1, 2)
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Cluster: c}
+	res, err := e.Run(&Job{Name: "repack", Input: f, Map: func(r Record, emit Emit) { emit(r.Raw, "1") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 18 {
+		t.Fatalf("output = %d rows, want 18", len(res.Output))
+	}
+	if res.Repacked != 1 {
+		t.Errorf("Repacked = %d, want 1", res.Repacked)
+	}
+	if res.BlocksRerun != 0 || res.ReExecuted != 0 {
+		t.Errorf("rerun=%d reexecuted=%d, want 0,0 (repack precedes any read)", res.BlocksRerun, res.ReExecuted)
+	}
+	task := res.Tasks[0]
+	if task.Split.Replica[0] != 2 {
+		t.Errorf("executed split still pinned to dead node: %v", task.Split.Replica)
+	}
+}
+
+// TestPackedSplitMidTaskFailureRerunsOnlyAffectedBlocks: a block read
+// failing mid-split must not rescan the split's completed blocks — the
+// retry re-executes only the failed block and the remainder.
+func TestPackedSplitMidTaskFailureRerunsOnlyAffectedBlocks(t *testing.T) {
+	c, f := packedFixture(t, 4, 6, 1, 2)
+	f.failOnce = map[hdfs.BlockID]bool{3: true}
+	e := &Engine{Cluster: c}
+	res, err := e.Run(&Job{Name: "midfail", Input: f, Map: func(r Record, emit Emit) { emit(r.Raw, "1") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 18 {
+		t.Fatalf("output = %d rows, want 18", len(res.Output))
+	}
+	if res.BlocksRerun != 1 {
+		t.Errorf("BlocksRerun = %d, want 1 (only the failed block)", res.BlocksRerun)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for b, n := range f.blockOpens {
+		want := 1
+		if b == 3 {
+			want = 2 // failed once, succeeded on retry
+		}
+		if n != want {
+			t.Errorf("block %d opened %d times, want %d", b, n, want)
+		}
+	}
+}

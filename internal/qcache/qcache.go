@@ -66,12 +66,20 @@ type Stats struct {
 	Evictions     int64
 	Invalidations int64 // entries purged by InvalidateBlock
 	Rejected      int64 // entries larger than the whole budget
+	// Split-level counters: packed-split entries admitted and served
+	// (GetSplit/PutSplit), counted separately from the per-block numbers.
+	SplitHits   int64
+	SplitMisses int64
+	SplitPuts   int64
 	// BytesSaved accumulates the data + index bytes hits avoided
 	// re-reading (from the stats recorded at admission).
 	BytesSaved int64
 	Bytes      int64 // resident entry bytes
 	Entries    int
-	Budget     int64 // configured byte budget
+	// SplitEntries is the resident packed-split entry count (their bytes
+	// are included in Bytes).
+	SplitEntries int
+	Budget       int64 // configured byte budget
 }
 
 // Sub returns the counter deltas s − prev; occupancy fields (Bytes,
@@ -83,6 +91,9 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.Evictions -= prev.Evictions
 	s.Invalidations -= prev.Invalidations
 	s.Rejected -= prev.Rejected
+	s.SplitHits -= prev.SplitHits
+	s.SplitMisses -= prev.SplitMisses
+	s.SplitPuts -= prev.SplitPuts
 	s.BytesSaved -= prev.BytesSaved
 	return s
 }
@@ -108,15 +119,40 @@ type shard struct {
 	protected *list.List
 }
 
+// splitEntry is one packed split's cached output (mapred.SplitCache).
+// Split entries live in a single store beside the per-block shards: packed
+// splits are few (SplitsPerNode × nodes per job), so one mutex suffices,
+// and the store needs a cross-block view anyway — InvalidateBlock must
+// find every split entry a block participates in, whatever shard the
+// block itself hashes to.
+type splitEntry struct {
+	key    mapred.SplitCacheKey
+	blocks []hdfs.BlockID
+	kvs    []mapred.KV
+	stats  mapred.TaskStats
+	bytes  int64
+	elem   *list.Element
+}
+
 // Cache is a sharded, concurrency-safe block-level result cache
-// implementing mapred.ResultCache.
+// implementing mapred.ResultCache, with split-level admission for packed
+// splits (mapred.SplitCache) on top.
 type Cache struct {
 	budget int64
 	shards [numShards]shard
-	// bytes is the resident total across shards; Put enforces the budget
-	// against it, evicting round-robin across shards (probation first).
+	// bytes is the resident total across shards and the split store; Put
+	// enforces the budget against it, evicting round-robin across shards
+	// (probation first).
 	bytes       atomic.Int64
 	evictCursor atomic.Uint32
+
+	// Split-level store: entries keyed by the packed split's sorted
+	// (block, generation) signature, in an LRU list for eviction, with a
+	// per-block reverse index for invalidation.
+	splitMu      sync.Mutex
+	splits       map[mapred.SplitCacheKey]*splitEntry
+	splitByBlock map[hdfs.BlockID]map[*splitEntry]struct{}
+	splitLRU     *list.List
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -124,6 +160,9 @@ type Cache struct {
 	evictions     atomic.Int64
 	invalidations atomic.Int64
 	rejected      atomic.Int64
+	splitHits     atomic.Int64
+	splitMisses   atomic.Int64
+	splitPuts     atomic.Int64
 	bytesSaved    atomic.Int64
 }
 
@@ -138,7 +177,12 @@ func New(budget int64) *Cache {
 	if budget < minBudget {
 		budget = minBudget
 	}
-	c := &Cache{budget: budget}
+	c := &Cache{
+		budget:       budget,
+		splits:       make(map[mapred.SplitCacheKey]*splitEntry),
+		splitByBlock: make(map[hdfs.BlockID]map[*splitEntry]struct{}),
+		splitLRU:     list.New(),
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.entries = make(map[mapred.CacheKey]*entry)
@@ -228,34 +272,61 @@ func (c *Cache) Put(k mapred.CacheKey, kvs []mapred.KV, stats mapred.TaskStats) 
 	s.mu.Unlock()
 	c.bytes.Add(cost)
 	c.puts.Add(1)
-	c.enforceBudget(e)
+	c.enforceBudget(e, nil)
 }
 
 // enforceBudget evicts until the resident total fits the budget: one
-// round-robin sweep pops probationary tails across shards, a second
-// reaches into protected LRUs, and the just-admitted entry is never the
-// victim (evicting everything else always suffices, since its cost is at
-// most the budget).
-func (c *Cache) enforceBudget(keep *entry) {
-	for _, probationOnly := range []bool{true, false} {
-		start := int(c.evictCursor.Add(1) % numShards) // mod before int: never negative on 32-bit
-		for i := 0; i < numShards; i++ {
-			if c.bytes.Load() <= c.budget {
-				return
-			}
-			s := &c.shards[(start+i)%numShards]
-			s.mu.Lock()
-			for c.bytes.Load() > c.budget {
-				v := s.victimLocked(keep, probationOnly)
-				if v == nil {
-					break
-				}
-				s.removeLocked(v)
-				c.bytes.Add(-v.bytes)
-				c.evictions.Add(1)
-			}
-			s.mu.Unlock()
+// round-robin sweep pops probationary tails across shards, then the
+// split-level LRU is drained, and a final sweep reaches into protected
+// LRUs. The just-admitted entry (block- or split-level) is never the
+// victim — evicting everything else always suffices, since its cost is at
+// most the budget.
+func (c *Cache) enforceBudget(keep *entry, keepSplit *splitEntry) {
+	c.evictShards(keep, true)
+	c.evictSplits(keepSplit)
+	c.evictShards(keep, false)
+}
+
+// evictShards is one round-robin sweep over the per-block shards.
+func (c *Cache) evictShards(keep *entry, probationOnly bool) {
+	start := int(c.evictCursor.Add(1) % numShards) // mod before int: never negative on 32-bit
+	for i := 0; i < numShards; i++ {
+		if c.bytes.Load() <= c.budget {
+			return
 		}
+		s := &c.shards[(start+i)%numShards]
+		s.mu.Lock()
+		for c.bytes.Load() > c.budget {
+			v := s.victimLocked(keep, probationOnly)
+			if v == nil {
+				break
+			}
+			s.removeLocked(v)
+			c.bytes.Add(-v.bytes)
+			c.evictions.Add(1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// evictSplits drains split-level entries coldest-first until the budget
+// fits (or only keepSplit remains).
+func (c *Cache) evictSplits(keepSplit *splitEntry) {
+	c.splitMu.Lock()
+	defer c.splitMu.Unlock()
+	for c.bytes.Load() > c.budget {
+		var victim *splitEntry
+		for el := c.splitLRU.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*splitEntry); e != keepSplit {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.removeSplitLocked(victim)
+		c.evictions.Add(1)
 	}
 }
 
@@ -295,8 +366,8 @@ func (s *shard) removeLocked(e *entry) {
 	s.bytes -= e.bytes
 }
 
-// InvalidateBlock purges every entry for the block, whatever its
-// generation, and returns the number removed. Registered as the
+// InvalidateBlock purges every entry for the block — per-block and
+// packed-split entries alike — whatever its generation. Registered as the
 // namenode's replica-change hook it turns generation bumps into active
 // space reclamation; generation keying alone already guarantees the
 // purged entries could never have been served again.
@@ -309,6 +380,120 @@ func (c *Cache) InvalidateBlock(b hdfs.BlockID) {
 		c.invalidations.Add(1)
 	}
 	s.mu.Unlock()
+
+	c.splitMu.Lock()
+	for e := range c.splitByBlock[b] {
+		c.removeSplitLocked(e)
+		c.invalidations.Add(1)
+	}
+	c.splitMu.Unlock()
+}
+
+// splitEntryBytes is the budget charge for one packed-split entry.
+func splitEntryBytes(k mapred.SplitCacheKey, blocks int, kvs []mapred.KV) int64 {
+	n := int64(entryOverhead + len(k.File) + len(k.BlockSig) + len(k.Query) + len(k.MapSig))
+	n += int64(blocks) * 16 // member-block reverse-index bookkeeping
+	for _, kv := range kvs {
+		n += int64(len(kv.Key) + len(kv.Value) + kvOverhead)
+	}
+	return n
+}
+
+// GetSplit returns the cached output of a whole packed split. On a hit
+// the entry is refreshed to the LRU front. The returned slice is shared
+// and must be treated as read-only.
+func (c *Cache) GetSplit(k mapred.SplitCacheKey) ([]mapred.KV, mapred.TaskStats, bool) {
+	c.splitMu.Lock()
+	e, ok := c.splits[k]
+	if !ok {
+		c.splitMu.Unlock()
+		c.splitMisses.Add(1)
+		return nil, mapred.TaskStats{}, false
+	}
+	c.splitLRU.MoveToFront(e.elem)
+	kvs, stats := e.kvs, e.stats
+	c.splitMu.Unlock()
+	c.splitHits.Add(1)
+	c.bytesSaved.Add(stats.BytesRead + stats.IndexBytesRead)
+	return kvs, stats, true
+}
+
+// PutSplit admits one packed split's assembled map output, indexed under
+// every member block so invalidating any of them purges the whole entry.
+// Entries larger than the budget are rejected; re-putting an existing key
+// replaces it in place.
+func (c *Cache) PutSplit(k mapred.SplitCacheKey, blocks []hdfs.BlockID, kvs []mapred.KV, stats mapred.TaskStats) {
+	cost := splitEntryBytes(k, len(blocks), kvs)
+	if cost > c.budget {
+		c.rejected.Add(1)
+		return
+	}
+	e := &splitEntry{
+		key:    k,
+		blocks: append([]hdfs.BlockID(nil), blocks...),
+		kvs:    append([]mapred.KV(nil), kvs...),
+		stats:  stats,
+		bytes:  cost,
+	}
+	c.splitMu.Lock()
+	if old, ok := c.splits[k]; ok {
+		c.removeSplitLocked(old)
+	}
+	e.elem = c.splitLRU.PushFront(e)
+	c.splits[k] = e
+	for _, b := range blocks {
+		bb := c.splitByBlock[b]
+		if bb == nil {
+			bb = make(map[*splitEntry]struct{})
+			c.splitByBlock[b] = bb
+		}
+		bb[e] = struct{}{}
+	}
+	c.splitMu.Unlock()
+	c.bytes.Add(cost)
+	c.splitPuts.Add(1)
+	c.enforceBudget(nil, e)
+}
+
+// removeSplitLocked unlinks a split entry from the store. Caller holds
+// splitMu.
+func (c *Cache) removeSplitLocked(e *splitEntry) {
+	c.splitLRU.Remove(e.elem)
+	delete(c.splits, e.key)
+	for _, b := range e.blocks {
+		if bb := c.splitByBlock[b]; bb != nil {
+			delete(bb, e)
+			if len(bb) == 0 {
+				delete(c.splitByBlock, b)
+			}
+		}
+	}
+	c.bytes.Add(-e.bytes)
+}
+
+// CachedReplica reports whether the cache holds the block's map output
+// for the given (generation, query signature, map identity), and at which
+// replica node — the split phase's packing probe: a fully-cached block
+// can be packed pinned at its cached replica even when no index matches
+// the query (core.InputFormat.CachedReplica). When several replicas'
+// results are resident the lowest node ID wins, keeping the packing
+// decision deterministic.
+func (c *Cache) CachedReplica(file string, b hdfs.BlockID, gen uint64, query, mapSig string) (hdfs.NodeID, bool) {
+	s := c.shard(b)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best hdfs.NodeID
+	found := false
+	for e := range s.byBlock[b] {
+		k := e.key
+		if k.File != file || k.Gen != gen || k.Query != query || k.MapSig != mapSig {
+			continue
+		}
+		if !found || k.Replica < best {
+			best, found = k.Replica, true
+		}
+	}
+	return best, found
 }
 
 // Stats returns a snapshot of the cache counters and occupancy.
@@ -320,6 +505,9 @@ func (c *Cache) Stats() Stats {
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
 		Rejected:      c.rejected.Load(),
+		SplitHits:     c.splitHits.Load(),
+		SplitMisses:   c.splitMisses.Load(),
+		SplitPuts:     c.splitPuts.Load(),
 		BytesSaved:    c.bytesSaved.Load(),
 		Budget:        c.budget,
 	}
@@ -330,9 +518,18 @@ func (c *Cache) Stats() Stats {
 		st.Entries += len(s.entries)
 		s.mu.Unlock()
 	}
+	c.splitMu.Lock()
+	for el := c.splitLRU.Front(); el != nil; el = el.Next() {
+		st.Bytes += el.Value.(*splitEntry).bytes
+	}
+	st.SplitEntries = len(c.splits)
+	c.splitMu.Unlock()
 	return st
 }
 
 // Interface conformance: the engine consumes the cache through
-// mapred.ResultCache.
-var _ mapred.ResultCache = (*Cache)(nil)
+// mapred.ResultCache and, for packed splits, mapred.SplitCache.
+var (
+	_ mapred.ResultCache = (*Cache)(nil)
+	_ mapred.SplitCache  = (*Cache)(nil)
+)

@@ -1,0 +1,127 @@
+package qcache
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+)
+
+func splitKey(blocks []hdfs.BlockID, gens []uint64, rep hdfs.NodeID) (mapred.SplitCacheKey, []hdfs.BlockID) {
+	parts := make([]string, len(blocks))
+	for i, b := range blocks {
+		parts[i] = fmt.Sprintf("%d:%d", b, gens[i])
+	}
+	return mapred.SplitCacheKey{
+		File: "/f", BlockSig: strings.Join(parts, ","),
+		Query: "q", MapSig: "m", Replica: rep,
+	}, blocks
+}
+
+func splitKVs(n int) []mapred.KV {
+	out := make([]mapred.KV, n)
+	for i := range out {
+		out[i] = mapred.KV{Key: fmt.Sprintf("k%d", i), Value: "v"}
+	}
+	return out
+}
+
+func TestSplitCacheRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	k, blocks := splitKey([]hdfs.BlockID{1, 2, 3}, []uint64{0, 0, 0}, 4)
+	if _, _, ok := c.GetSplit(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	kvs := splitKVs(5)
+	c.PutSplit(k, blocks, kvs, mapred.TaskStats{Blocks: 3, BytesRead: 99})
+	got, stats, ok := c.GetSplit(k)
+	if !ok || len(got) != 5 || stats.BytesRead != 99 {
+		t.Fatalf("GetSplit = %v, %+v, %v", got, stats, ok)
+	}
+	st := c.Stats()
+	if st.SplitPuts != 1 || st.SplitHits != 1 || st.SplitMisses != 1 || st.SplitEntries != 1 {
+		t.Errorf("split counters: %+v", st)
+	}
+	if st.BytesSaved != 99 {
+		t.Errorf("BytesSaved = %d, want 99", st.BytesSaved)
+	}
+	if st.Bytes == 0 {
+		t.Error("split entry bytes not charged against occupancy")
+	}
+
+	// A different generation of any member block is a different key.
+	k2, _ := splitKey([]hdfs.BlockID{1, 2, 3}, []uint64{0, 1, 0}, 4)
+	if _, _, ok := c.GetSplit(k2); ok {
+		t.Error("generation change did not miss")
+	}
+}
+
+// TestSplitCacheInvalidateMemberBlock: invalidating any member block
+// purges the packed-split entry, whatever shard the block hashes to.
+func TestSplitCacheInvalidateMemberBlock(t *testing.T) {
+	for _, member := range []hdfs.BlockID{7, 8, 9} {
+		c := New(1 << 20)
+		k, blocks := splitKey([]hdfs.BlockID{7, 8, 9}, []uint64{0, 0, 0}, 1)
+		c.PutSplit(k, blocks, splitKVs(3), mapred.TaskStats{})
+		c.InvalidateBlock(member)
+		if _, _, ok := c.GetSplit(k); ok {
+			t.Errorf("entry survived invalidation of member block %d", member)
+		}
+		if st := c.Stats(); st.SplitEntries != 0 || st.Bytes != 0 {
+			t.Errorf("member %d: occupancy not reclaimed: %+v", member, st)
+		}
+	}
+}
+
+// TestSplitCacheBudgetEviction: split entries participate in the shared
+// byte budget and are evicted before protected per-block entries.
+func TestSplitCacheBudgetEviction(t *testing.T) {
+	c := New(minBudget)
+	// A protected per-block entry (hit once to promote).
+	bk := mapred.CacheKey{File: "/f", Block: 1, Query: "q", MapSig: "m"}
+	c.Put(bk, splitKVs(2), mapred.TaskStats{})
+	c.Get(bk)
+	// Fill with split entries until the budget forces eviction.
+	for i := 0; i < 64; i++ {
+		k, blocks := splitKey([]hdfs.BlockID{hdfs.BlockID(10 + 2*i), hdfs.BlockID(11 + 2*i)}, []uint64{0, 0}, 1)
+		c.PutSplit(k, blocks, splitKVs(20), mapred.TaskStats{})
+	}
+	st := c.Stats()
+	if st.Bytes > st.Budget {
+		t.Errorf("occupancy %d exceeds budget %d", st.Bytes, st.Budget)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions under budget pressure")
+	}
+	if _, _, ok := c.Get(bk); !ok {
+		t.Error("protected per-block entry evicted before split entries")
+	}
+}
+
+// TestCachedReplicaProbe: the split phase's packing probe finds resident
+// per-block entries by (file, block, generation, query, map identity) and
+// reports the replica deterministically (lowest node ID).
+func TestCachedReplicaProbe(t *testing.T) {
+	c := New(1 << 20)
+	put := func(b hdfs.BlockID, gen uint64, rep hdfs.NodeID) {
+		c.Put(mapred.CacheKey{File: "/f", Block: b, Gen: gen, Query: "q", MapSig: "m", Replica: rep},
+			splitKVs(1), mapred.TaskStats{})
+	}
+	put(5, 3, 2)
+	put(5, 3, 1)
+	put(5, 2, 0) // stale generation
+	if n, ok := c.CachedReplica("/f", 5, 3, "q", "m"); !ok || n != 1 {
+		t.Errorf("CachedReplica = %d, %v; want 1, true", n, ok)
+	}
+	if _, ok := c.CachedReplica("/f", 5, 4, "q", "m"); ok {
+		t.Error("probe hit at a generation never admitted")
+	}
+	if _, ok := c.CachedReplica("/f", 6, 3, "q", "m"); ok {
+		t.Error("probe hit for a block never admitted")
+	}
+	if _, ok := c.CachedReplica("/f", 5, 3, "other", "m"); ok {
+		t.Error("probe ignored the query signature")
+	}
+}
