@@ -306,7 +306,7 @@ func BenchmarkFigAdaptive(b *testing.B) {
 
 func BenchmarkFigCache(b *testing.B) {
 	benchFigure(b, "FigCache", func() (*experiments.Figure, error) {
-		rep, err := benchRunner().ExpCache(experiments.UserVisits, 6, 0, 0.5)
+		rep, err := benchRunner().ExpCache(experiments.UserVisits, 6, 0, 0.5, false)
 		if err != nil {
 			return nil, err
 		}
@@ -333,6 +333,22 @@ func BenchmarkFigDispatch(b *testing.B) {
 		metric(b, f, "tasks cut [x]", "cache-hot", "hot_task_reduction_x")
 		metric(b, f, "per-block [s]", "cache-hot", "hot_perblock_s")
 		metric(b, f, "packed [s]", "cache-hot", "hot_packed_s")
+	})
+}
+
+// --- Adaptive replica lifecycle (workload shift + eviction) ---
+
+func BenchmarkFigLifecycle(b *testing.B) {
+	benchFigure(b, "FigLifecycle", func() (*experiments.Figure, error) {
+		rep, err := benchRunner().ExpLifecycle(experiments.UserVisits, 5, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Figure(), nil
+	}, func(f *experiments.Figure) {
+		metric(b, f, "runtime [s]", "colB-j6", "shift_job1_s")
+		metric(b, f, "idx splits [%]", "colB-j10", "shift_job5_idx_pct")
+		metric(b, f, "evicted", "colB-j6", "shift_job1_evicted")
 	})
 }
 

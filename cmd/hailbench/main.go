@@ -1,12 +1,14 @@
 // Command hailbench regenerates the paper's tables and figures, plus the
-// adaptive-indexing and result-cache trajectory experiments.
+// adaptive-indexing, result-cache, scan-packing and replica-lifecycle
+// trajectory experiments.
 //
 // Usage:
 //
 //	hailbench [-quick] [-only Fig4a,Fig6a,...] [-json out.json]
-//	hailbench [-quick] -adaptive [-offer-rate 0.25] [-jobs 8] [-workload Synthetic] [-adaptive-budget N]
-//	hailbench [-quick] -cache [-cache-budget N] [-offer-rate 0.25] [-jobs 6] [-workload UserVisits]
-//	hailbench [-quick] -cache -pack-scans [-cache-budget N] [-workload UserVisits]
+//	hailbench [-quick] -adaptive [-adaptive-evict] [-offer-rate 0.25] [-jobs 8] [-workload Synthetic] [-adaptive-budget N]
+//	hailbench [-quick] -cache [-pack-scans] [-cache-budget N] [-offer-rate 0.25] [-jobs 6] [-workload UserVisits]
+//	hailbench [-quick] -dispatch [-cache-budget N] [-workload UserVisits]
+//	hailbench [-quick] -lifecycle [-offer-rate 0.5] [-jobs 6] [-workload UserVisits] [-adaptive-budget N]
 //
 // With no flags it runs every paper experiment at full fidelity (~64
 // partitions per block), printing each figure as an aligned table of
@@ -18,24 +20,36 @@
 // attribute no replica is indexed on: the adaptive indexer converts a
 // bounded fraction (-offer-rate) of the remaining unindexed blocks during
 // each job, so job 1 pays a small penalty and jobs 2..k speed up until
-// every block is index-scanned.
+// every block is index-scanned. -adaptive-evict enables the lifecycle
+// manager's eviction policy: builds that would exceed -adaptive-budget
+// retire the coldest adaptive replicas instead of being denied.
 //
 // -cache runs the block-level result-cache trajectory: a cold job
 // populates the cache, an identical hot job answers its blocks from it,
 // then the adaptive indexer is switched on so its replica conversions
 // invalidate affected entries — every job verified result-equivalent to
-// uncached execution.
+// uncached execution. With -pack-scans the same trajectory runs under
+// packed scan splits (fully-cached blocks pinned at their cached
+// replica), so the hot jobs' dispatch bound falls alongside their map
+// work.
 //
-// -cache -pack-scans runs the scan-split packing (dispatch) experiment
-// instead: the adaptive job-1 and cache-hot workloads execute with
-// per-block and with packed scan splits, reporting dispatch counts and
-// simulated wall time for both, gated on byte-equivalent results; a
-// final phase kills a packed split's pinned node mid-job and verifies
-// the job completes with only the affected blocks re-resolved.
+// -dispatch runs the scan-split packing experiment: the adaptive job-1
+// and cache-hot workloads execute with per-block and with packed scan
+// splits, reporting dispatch counts and simulated wall time for both,
+// gated on byte-equivalent results; a final phase kills a packed split's
+// pinned node mid-job and verifies the job completes with only the
+// affected blocks re-resolved.
 //
-// -json writes the run's report (figures, adaptive or cache trajectory)
-// as JSON to the given path — CI uploads these as BENCH_*.json artifacts
-// to accumulate the perf trajectory across commits.
+// -lifecycle runs the adaptive replica lifecycle experiment: converge on
+// one never-indexed column under a fixed extra-storage budget, then shift
+// the workload to a second never-indexed column. Eviction retires the
+// cold column's replicas so the new column converges inside the same
+// budget — the trajectory that was BudgetDenied forever before the
+// lifecycle manager.
+//
+// -json writes the run's report as JSON to the given path — CI uploads
+// these as BENCH_*.json artifacts to accumulate the perf trajectory
+// across commits.
 package main
 
 import (
@@ -61,12 +75,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	only := fs.String("only", "", "comma-separated experiment IDs (e.g. Fig4a,Fig6a)")
 	adaptiveMode := fs.Bool("adaptive", false, "run the adaptive-indexing experiment")
 	cacheMode := fs.Bool("cache", false, "run the result-cache trajectory experiment")
-	packScans := fs.Bool("pack-scans", false, "with -cache: run the scan-split packing (dispatch) experiment instead of the cache trajectory")
-	offerRate := fs.Float64("offer-rate", 0.25, "adaptive/cache: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
-	jobs := fs.Int("jobs", 8, "adaptive/cache: number of identical jobs in the sequence")
-	workloadName := fs.String("workload", "UserVisits", "adaptive/cache: workload (UserVisits or Synthetic)")
-	adaptiveBudget := fs.Int64("adaptive-budget", 0, "adaptive/cache: cap on extra replica bytes adaptive builds may store (0 = unlimited)")
-	cacheBudget := fs.Int64("cache-budget", qcache.DefaultBudget, "cache: byte budget for cached block results")
+	dispatchMode := fs.Bool("dispatch", false, "run the scan-split packing (dispatch) experiment")
+	lifecycleMode := fs.Bool("lifecycle", false, "run the adaptive replica lifecycle (workload shift + eviction) experiment")
+	packScans := fs.Bool("pack-scans", false, "with -cache: run the trajectory under packed scan splits")
+	adaptiveEvict := fs.Bool("adaptive-evict", false, "with -adaptive: evict the coldest adaptive replicas when a build would exceed -adaptive-budget")
+	offerRate := fs.Float64("offer-rate", 0.25, "adaptive/cache/lifecycle: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
+	jobs := fs.Int("jobs", 8, "adaptive/cache: number of identical jobs in the sequence; lifecycle: jobs per phase")
+	workloadName := fs.String("workload", "UserVisits", "adaptive/cache/dispatch/lifecycle: workload (UserVisits or Synthetic)")
+	adaptiveBudget := fs.Int64("adaptive-budget", 0, "adaptive/cache/lifecycle: cap on extra replica bytes adaptive builds may store (0 = unlimited; lifecycle auto-sizes)")
+	cacheBudget := fs.Int64("cache-budget", qcache.DefaultBudget, "cache/dispatch: byte budget for cached block results")
 	nnShards := fs.Int("nn-shards", 0, "namenode directory shards (0 = default, 1 = unsharded)")
 	jsonPath := fs.String("json", "", "write the run's report as JSON to this path")
 	if err := fs.Parse(args); err != nil {
@@ -83,30 +100,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	r.NNShards = *nnShards
 
-	// The adaptive/cache experiments and the paper-figure list are
-	// separate modes; reject combinations that would silently ignore a
-	// flag.
-	if *adaptiveMode && *cacheMode {
-		return fmt.Errorf("%w: -adaptive and -cache are mutually exclusive", errUsage)
+	// The trajectory experiments and the paper-figure list are separate
+	// modes; reject combinations that would silently ignore a flag.
+	modes := 0
+	for _, on := range []bool{*adaptiveMode, *cacheMode, *dispatchMode, *lifecycleMode} {
+		if on {
+			modes++
+		}
 	}
-	if (*adaptiveMode || *cacheMode) && *only != "" {
-		return fmt.Errorf("%w: -only does not combine with -adaptive or -cache", errUsage)
+	if modes > 1 {
+		return fmt.Errorf("%w: -adaptive, -cache, -dispatch and -lifecycle are mutually exclusive", errUsage)
 	}
-	if !*adaptiveMode && !*cacheMode {
+	if modes > 0 && *only != "" {
+		return fmt.Errorf("%w: -only does not combine with the trajectory experiments", errUsage)
+	}
+	if modes == 0 {
 		if stray := cliutil.Stray(fs, "offer-rate", "jobs", "workload", "adaptive-budget"); len(stray) > 0 {
-			return fmt.Errorf("%w: %s only applies with -adaptive or -cache", errUsage, strings.Join(stray, ", "))
+			return fmt.Errorf("%w: %s only applies with -adaptive, -cache or -lifecycle", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if !*cacheMode && !*dispatchMode {
+		if stray := cliutil.Stray(fs, "cache-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -cache or -dispatch", errUsage, strings.Join(stray, ", "))
 		}
 	}
 	if !*cacheMode {
-		if stray := cliutil.Stray(fs, "cache-budget", "pack-scans"); len(stray) > 0 {
+		if stray := cliutil.Stray(fs, "pack-scans"); len(stray) > 0 {
 			return fmt.Errorf("%w: %s only applies with -cache", errUsage, strings.Join(stray, ", "))
 		}
 	}
-	if *packScans {
+	if !*adaptiveMode {
+		if stray := cliutil.Stray(fs, "adaptive-evict"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -adaptive (-lifecycle always evicts)", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if *dispatchMode {
 		// The dispatch experiment fixes its own job sequence and never
 		// converts blocks; reject flags it would silently ignore.
 		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
-			return fmt.Errorf("%w: %s does not combine with -pack-scans", errUsage, strings.Join(stray, ", "))
+			return fmt.Errorf("%w: %s does not combine with -dispatch", errUsage, strings.Join(stray, ", "))
 		}
 	}
 
@@ -123,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
 	}
 
-	if *adaptiveMode || *cacheMode {
+	if modes > 0 {
 		w := experiments.UserVisits
 		switch strings.ToLower(*workloadName) {
 		case "uservisits":
@@ -133,8 +165,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("unknown workload %q (want UserVisits or Synthetic)", *workloadName)
 		}
 		r.AdaptiveBudget = *adaptiveBudget
+		r.AdaptiveEvict = *adaptiveEvict
 		start := time.Now()
-		if *cacheMode && *packScans {
+		switch {
+		case *dispatchMode:
 			rep, err := r.ExpDispatch(w, *cacheBudget)
 			if err != nil {
 				return err
@@ -142,9 +176,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stdout, rep)
 			fmt.Fprintf(stdout, "(FigDispatch computed in %.1fs real time)\n", time.Since(start).Seconds())
 			return writeJSON(rep)
-		}
-		if *cacheMode {
-			rep, err := r.ExpCache(w, *jobs, *cacheBudget, adaptive.RateFromFlag(*offerRate))
+		case *lifecycleMode:
+			rep, err := r.ExpLifecycle(w, *jobs, adaptive.RateFromFlag(*offerRate))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprintf(stdout, "(FigLifecycle computed in %.1fs real time)\n", time.Since(start).Seconds())
+			return writeJSON(rep)
+		case *cacheMode:
+			rep, err := r.ExpCache(w, *jobs, *cacheBudget, adaptive.RateFromFlag(*offerRate), *packScans)
 			if err != nil {
 				return err
 			}

@@ -72,12 +72,12 @@ func TestBenchCacheSmoke(t *testing.T) {
 }
 
 // TestBenchDispatchSmoke drives the scan-split packing experiment end to
-// end: -cache -pack-scans runs the packed-vs-unpacked comparison with its
+// end: -dispatch runs the packed-vs-unpacked comparison with its
 // failover phase and writes the dispatch JSON artifact.
 func TestBenchDispatchSmoke(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "BENCH_dispatch.json")
 	var out, errb bytes.Buffer
-	err := run([]string{"-quick", "-cache", "-pack-scans", "-json", jsonPath}, &out, &errb)
+	err := run([]string{"-quick", "-dispatch", "-json", jsonPath}, &out, &errb)
 	if err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
 	}
@@ -113,11 +113,92 @@ func TestBenchDispatchBadFlags(t *testing.T) {
 	if err := run([]string{"-pack-scans"}, &out, &errb); err == nil {
 		t.Error("accepted -pack-scans without -cache")
 	}
-	if err := run([]string{"-cache", "-pack-scans", "-jobs", "3"}, &out, &errb); err == nil {
-		t.Error("accepted -jobs with -pack-scans")
+	if err := run([]string{"-dispatch", "-jobs", "3"}, &out, &errb); err == nil {
+		t.Error("accepted -jobs with -dispatch")
 	}
-	if err := run([]string{"-cache", "-pack-scans", "-offer-rate", "0.5"}, &out, &errb); err == nil {
-		t.Error("accepted -offer-rate with -pack-scans")
+	if err := run([]string{"-dispatch", "-offer-rate", "0.5"}, &out, &errb); err == nil {
+		t.Error("accepted -offer-rate with -dispatch")
+	}
+	if err := run([]string{"-dispatch", "-cache"}, &out, &errb); err == nil {
+		t.Error("accepted -dispatch with -cache")
+	}
+}
+
+// TestBenchCachePackedSmoke drives the packed cache trajectory (the
+// ROADMAP's -pack-scans mode for ExpCache): same cold/hot/invalidate
+// sequence, with the dispatched task count falling to the per-node split
+// count.
+func TestBenchCachePackedSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_cache_packed.json")
+	var out, errb bytes.Buffer
+	err := run([]string{"-quick", "-cache", "-pack-scans", "-jobs", "4", "-offer-rate", "0.5", "-json", jsonPath}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FigCache", "packed scans", "tasks", "hot job answers"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	var rep experiments.CacheReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON artifact: %v", err)
+	}
+	if !rep.PackScans {
+		t.Error("artifact does not record PackScans")
+	}
+	if len(rep.Jobs) != 4 || rep.Jobs[1].Tasks*4 > rep.TotalBlocks {
+		t.Errorf("artifact trajectory implausible: %+v", rep.Jobs)
+	}
+}
+
+// TestBenchLifecycleSmoke drives the replica-lifecycle experiment end to
+// end and checks the JSON artifact: the workload shift must converge with
+// evictions.
+func TestBenchLifecycleSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_lifecycle.json")
+	var out, errb bytes.Buffer
+	err := run([]string{"-quick", "-lifecycle", "-jobs", "5", "-offer-rate", "0.5", "-json", jsonPath}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FigLifecycle", "workload shift", "evicted", "colB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	var rep experiments.LifecycleReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON artifact: %v", err)
+	}
+	if rep.FinalFractionB < experiments.LifecycleConvergenceTarget || rep.TotalEvicted == 0 {
+		t.Errorf("artifact shift implausible: frac %.2f, evicted %d", rep.FinalFractionB, rep.TotalEvicted)
+	}
+}
+
+func TestBenchLifecycleBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-lifecycle", "-adaptive"}, &out, &errb); err == nil {
+		t.Error("accepted -lifecycle with -adaptive")
+	}
+	if err := run([]string{"-lifecycle", "-cache-budget", "1024"}, &out, &errb); err == nil {
+		t.Error("accepted -cache-budget with -lifecycle")
+	}
+	if err := run([]string{"-adaptive-evict"}, &out, &errb); err == nil {
+		t.Error("accepted -adaptive-evict without -adaptive")
+	}
+	if err := run([]string{"-lifecycle", "-adaptive-evict"}, &out, &errb); err == nil {
+		t.Error("accepted -adaptive-evict with -lifecycle (it always evicts)")
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 //	hailquery -fs /tmp/hailfs -name /logs/uv \
 //	          -q '@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})' \
-//	          [-splitting] [-pack-scans] [-adaptive] [-offer-rate 0.25] [-adaptive-budget N] \
+//	          [-splitting] [-pack-scans] [-adaptive] [-offer-rate 0.25] [-adaptive-budget N] [-adaptive-evict] \
 //	          [-cache] [-cache-budget N] [-stats] [-limit 20]
 //
 // The job uses the HailInputFormat: if some replica of each block carries
@@ -25,8 +25,14 @@
 // blocks are sorted and indexed as a by-product of this very query, the
 // new replicas are saved back into the filesystem directory, and repeated
 // invocations converge to all-index-scan execution. -adaptive-budget
-// caps the extra bytes those conversions may store (0 = unlimited).
-// Only newly built replicas are persisted — saves are incremental.
+// caps the extra bytes those conversions may store (0 = unlimited), and
+// -adaptive-evict turns the cap into a working set: a conversion that
+// would exceed it drops the coldest previously built adaptive replicas
+// (heat-tracked across invocations of one process; least-recently-used
+// wins) instead of being denied, unregistering them from the namenode so
+// no reader or cache entry ever routes to a dropped replica.
+// Only newly built replicas are persisted — saves are incremental, and
+// evictions rewrite the manifest so dropped replicas stay dropped.
 //
 // -cache enables the block-level result cache (-cache-budget bytes): each
 // block's map output is admitted keyed by (block, replica generation,
@@ -44,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/adaptive"
@@ -69,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	adaptiveMode := fs.Bool("adaptive", false, "build missing indexes as a by-product of this query")
 	offerRate := fs.Float64("offer-rate", 0.25, "adaptive: fraction of unindexed blocks converted per query (0 = observe demand only, build nothing)")
 	adaptiveBudget := fs.Int64("adaptive-budget", 0, "adaptive: cap on extra replica bytes adaptive builds may store (0 = unlimited)")
+	adaptiveEvict := fs.Bool("adaptive-evict", false, "adaptive: evict the coldest adaptive replicas when a build would exceed -adaptive-budget, instead of denying it")
 	cacheMode := fs.Bool("cache", false, "enable the block-level result cache for this job")
 	cacheBudget := fs.Int64("cache-budget", qcache.DefaultBudget, "cache: byte budget for cached block results")
 	nnShards := fs.Int("nn-shards", 0, "namenode directory shards (0 = default, 1 = unsharded)")
@@ -87,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%w: missing required -fs or -q", errUsage)
 	}
 	if !*adaptiveMode {
-		if stray := cliutil.Stray(fs, "offer-rate", "adaptive-budget"); len(stray) > 0 {
+		if stray := cliutil.Stray(fs, "offer-rate", "adaptive-budget", "adaptive-evict"); len(stray) > 0 {
 			return fmt.Errorf("%w: %s only applies with -adaptive", errUsage, strings.Join(stray, ", "))
 		}
 	}
@@ -115,7 +123,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var idx *adaptive.Indexer
 	if *adaptiveMode {
 		idx = adaptive.New(cluster, adaptive.RateFromFlag(*offerRate))
-		idx.BudgetBytes = *adaptiveBudget
+		idx.SetBudgetBytes(*adaptiveBudget)
+		idx.SetEvict(*adaptiveEvict)
+		// Re-adopt the replicas earlier invocations built: the lifecycle
+		// registry (budget charges, heat) is persisted as a sidecar next
+		// to the manifest, so the budget accumulates across queries and
+		// eviction can rank replicas the current workload went cold on.
+		reps, err := adaptive.LoadRegistry(filepath.Join(*fsDir, adaptive.RegistryFile))
+		if err != nil {
+			return err
+		}
+		idx.AdoptReplicas(reps)
 		input.Adaptive = idx
 		engine.PostTask = idx.AfterTask
 	}
@@ -184,13 +202,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if idx != nil {
 		plan := idx.LastJob()
-		if plan.Built > 0 {
+		if plan.Built > 0 || plan.Evicted > 0 {
 			// Persist the new replicas so the next invocation benefits —
 			// even when some other block's build failed, the successful
-			// conversions must not be lost.
+			// conversions must not be lost. Evictions rewrite the manifest
+			// too: a dropped replica must not resurface on the next Load.
 			if err := cluster.Save(*fsDir); err != nil {
 				return fmt.Errorf("saving adaptive indexes: %v", err)
 			}
+		}
+		// The registry sidecar tracks heat even when nothing was built:
+		// an all-index-scan query is exactly the touch signal eviction
+		// ranks by.
+		if err := adaptive.SaveRegistry(filepath.Join(*fsDir, adaptive.RegistryFile), idx.Replicas()); err != nil {
+			return fmt.Errorf("saving adaptive registry: %v", err)
 		}
 		if plan.File == "" {
 			fmt.Fprintln(stdout, "-- adaptive: no filter column, nothing to index")
@@ -201,9 +226,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if plan.Skipped > 0 {
 				fmt.Fprintf(stdout, "-- adaptive: %d blocks skipped (no node can hold another replica)\n", plan.Skipped)
 			}
+			if plan.Evicted > 0 {
+				fmt.Fprintf(stdout, "-- adaptive: evicted %d cold replica(s), %.1f KB reclaimed (extra storage %.1f KB at the %.1f KB budget)\n",
+					plan.Evicted, float64(plan.EvictedBytes)/1e3,
+					float64(idx.ExtraBytes())/1e3, float64(idx.BudgetBytes())/1e3)
+			}
 			if plan.BudgetDenied > 0 {
 				fmt.Fprintf(stdout, "-- adaptive: %d builds denied (extra storage %.1f KB at the %.1f KB budget)\n",
-					plan.BudgetDenied, float64(idx.ExtraBytes())/1e3, float64(idx.BudgetBytes)/1e3)
+					plan.BudgetDenied, float64(idx.ExtraBytes())/1e3, float64(idx.BudgetBytes())/1e3)
 			}
 		}
 		if err := idx.LastErr(); err != nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/hdfs"
 	"repro/internal/schema"
@@ -265,5 +266,123 @@ func TestQueryShardedNamenode(t *testing.T) {
 	}
 	if strip(sharded) != strip(unsharded) {
 		t.Errorf("query output differs between shard layouts:\n%s\nvs\n%s", sharded, unsharded)
+	}
+}
+
+// makeFSAllSorted is makeFS with both replicas sorted+indexed on column
+// a: adaptive conversions must then *add* replicas — the evictable kind —
+// instead of replacing an unsorted one in place.
+func makeFSAllSorted(t *testing.T, n int) string {
+	t.Helper()
+	cluster, err := hdfs.NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.MustNew(
+		schema.Field{Name: "a", Type: schema.Int32},
+		schema.Field{Name: "b", Type: schema.String},
+		schema.Field{Name: "c", Type: schema.Int32},
+	)
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("%d,word-%d,%d", i%7, i, i%13))
+	}
+	client := &core.Client{
+		Cluster: cluster,
+		Config:  core.LayoutConfig{Schema: sch, SortColumns: []int{0, 0}, BlockSize: 2048},
+	}
+	if _, err := client.Upload("/t", lines); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "fs")
+	if err := cluster.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestQueryAdaptiveEvictAcrossInvocations drives the full CLI lifecycle:
+// converge on @3, which persists the adaptive replicas AND the registry
+// sidecar (budget charges, heat); then shift the workload to @2 under a
+// one-column budget with -adaptive-evict. The new invocation adopts the
+// registry, evicts the cold @3 replicas to fund @2 builds, and converges
+// — across separate processes' worth of state.
+func TestQueryAdaptiveEvictAcrossInvocations(t *testing.T) {
+	dir := makeFSAllSorted(t, 700)
+	argsC := []string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@3 between(2,5)", projection={@1})`,
+		"-adaptive", "-offer-rate", "1", "-stats", "-limit", "1",
+	}
+	var first bytes.Buffer
+	if err := run(argsC, &first, &first); err != nil {
+		t.Fatalf("converge on @3: %v\n%s", err, first.String())
+	}
+
+	// The registry sidecar records the built replicas and their charges.
+	reps, err := adaptive.LoadRegistry(filepath.Join(dir, adaptive.RegistryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("no registry sidecar after an adaptive build")
+	}
+	var used int64
+	for _, r := range reps {
+		used += r.Bytes
+	}
+
+	// Shift to @2 with a budget that fits one column only: without
+	// eviction this would deny every build (registry adoption seeds the
+	// spent budget); with it the @3 replicas are retired.
+	budget := fmt.Sprint(used + 16)
+	argsB := []string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@2 between(word-1,word-2)", projection={@1})`,
+		"-adaptive", "-offer-rate", "1", "-adaptive-budget", budget, "-stats", "-limit", "1",
+	}
+	var denied bytes.Buffer
+	if err := run(argsB, &denied, &denied); err != nil {
+		t.Fatalf("shift without -adaptive-evict: %v\n%s", err, denied.String())
+	}
+	if !strings.Contains(denied.String(), "builds denied") {
+		t.Errorf("budget-bound shift without eviction should deny builds:\n%s", denied.String())
+	}
+
+	argsEvict := append(append([]string(nil), argsB...), "-adaptive-evict")
+	var shift bytes.Buffer
+	if err := run(argsEvict, &shift, &shift); err != nil {
+		t.Fatalf("shift with -adaptive-evict: %v\n%s", err, shift.String())
+	}
+	if !strings.Contains(shift.String(), "evicted") {
+		t.Errorf("eviction-funded shift printed no eviction line:\n%s", shift.String())
+	}
+
+	// Converge on @2; with offer rate 1 one more invocation suffices.
+	converged := false
+	var last string
+	for i := 0; i < 6 && !converged; i++ {
+		var out bytes.Buffer
+		if err := run(argsEvict, &out, &out); err != nil {
+			t.Fatalf("shift query %d: %v\n%s", i+2, err, out.String())
+		}
+		last = out.String()
+		converged = strings.Contains(last, " 0 full scans")
+	}
+	if !converged {
+		t.Fatalf("shifted workload never converged under the fixed budget; last output:\n%s", last)
+	}
+
+	// The original query still answers correctly (by scan again).
+	var again bytes.Buffer
+	if err := run([]string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@3 between(2,5)", projection={@1})`,
+		"-limit", "1",
+	}, &again, &again); err != nil {
+		t.Fatalf("re-query @3 after eviction: %v\n%s", err, again.String())
+	}
+	if got, want := rowCount(t, again.String()), rowCount(t, first.String()); got != want {
+		t.Errorf("@3 query returned %d rows after eviction, %d before", got, want)
 	}
 }

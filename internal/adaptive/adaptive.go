@@ -1,6 +1,7 @@
 // Package adaptive implements lazy, workload-driven index creation on top
 // of HAIL's static per-replica indexing — the direction the paper's own
-// follow-up work (LIAH) takes §4.1's evolving-workload story.
+// follow-up work (LIAH) takes §4.1's evolving-workload story — plus the
+// lifecycle management that keeps it honest under a storage budget.
 //
 // Static HAIL fixes each replica's clustered index at upload time. When
 // Bob's queries move to an attribute no replica is indexed on, every job
@@ -9,7 +10,10 @@
 //
 //  1. The HailInputFormat reports, per job, which blocks have no replica
 //     indexed on the query's filter column (ObserveJob). Each miss is
-//     recorded in a per-file index-demand Ledger.
+//     recorded in a per-file index-demand Ledger. The same report is the
+//     heat signal: every index-scan split an adaptive replica serves
+//     stamps that replica's (file, column, block) entry, so the lifecycle
+//     manager knows which replicas the current workload still uses.
 //  2. A bounded fraction of the missing blocks — the offer rate — is
 //     marked for conversion in this job. After a map task finishes
 //     scanning such a block, the engine's PostTask hook (still holding
@@ -20,11 +24,27 @@
 //     subsequent job gets index-scan splits for that block.
 //
 // The offer rate bounds the first job's penalty: with rate r, job 1 pays
-// roughly r times the cost of indexing the whole file, and after ~1/r
+// roughly r times the cost of indexing the whole job, and after ~1/r
 // identical jobs every block is index-scanned.
+//
+// Offers are kept per (file, column): concurrent jobs filtering on
+// different attributes share one Indexer without clobbering each other's
+// in-flight offers or plan counters, and a shifting workload accumulates
+// demand for several columns at once (Ledger.Demands ranks them).
+//
+// With eviction enabled (SetEvict), the extra-storage budget becomes a
+// working set instead of a one-way ratchet: when a build would exceed
+// BudgetBytes, the coldest adaptive replicas — dead-node orphans first,
+// then least-recently-touched — are dropped via Cluster.DropReplica to
+// reclaim budget, so the workload's *current* hot column converges while
+// replicas built for a column the workload abandoned are retired. Every
+// drop bumps the block's replica generation and fires the namenode's
+// change hook, so cached results pinned at the dropped replica are purged
+// and split pinning never routes to a ghost replica.
 package adaptive
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -36,7 +56,7 @@ import (
 )
 
 // DefaultOfferRate is the fraction of a job's unindexed blocks offered
-// for conversion when Indexer.OfferRate is unset.
+// for conversion when the offer rate is unset.
 const DefaultOfferRate = 0.25
 
 // Disabled is an OfferRate that records index demand in the ledger but
@@ -53,8 +73,20 @@ func RateFromFlag(v float64) float64 {
 	return v
 }
 
-// JobPlan is the adaptive plan and outcome for one job: coverage seen at
-// split time, blocks offered for conversion, and what the build step did.
+// EvictedReplica records one adaptive replica the lifecycle manager
+// dropped to reclaim budget.
+type EvictedReplica struct {
+	File   string
+	Column int
+	Block  hdfs.BlockID
+	Node   hdfs.NodeID
+	// Bytes is the budget charge the drop reclaimed.
+	Bytes int64
+}
+
+// JobPlan is the adaptive plan and outcome for one (file, column) job:
+// coverage seen at split time, blocks offered for conversion, and what
+// the build step did.
 type JobPlan struct {
 	File   string
 	Column int
@@ -68,54 +100,185 @@ type JobPlan struct {
 	ReplicasReplaced int // converted an unsorted replica in place
 	// Skipped counts offered blocks with nowhere to put a new replica
 	// (every alive node already holds one and none is unsorted) — a
-	// capacity condition, not an error; they stay full-scan.
+	// capacity condition, not an error; they stay full-scan. Placement
+	// races lost to a concurrent build or recovery land here too.
 	Skipped int
 	// BudgetDenied counts blocks whose conversion was refused because the
-	// indexer's extra-storage budget (BudgetBytes) is exhausted.
+	// indexer's extra-storage budget (BudgetBytes) is exhausted and (with
+	// eviction enabled) no adaptive replica was cold enough to retire.
 	BudgetDenied int
 	Failed       int
+	// Eviction churn: adaptive replicas dropped to make room for this
+	// plan's builds.
+	Evicted         int
+	EvictedBytes    int64
+	EvictedReplicas []EvictedReplica
 	// Real measured build volume, for the cost model.
 	SortedBytes int64 // PAX bytes sorted and rewritten
 	IndexBytes  int64 // index bytes created
 	StoredBytes int64 // total replica bytes stored (frame + pax + index)
+
+	// observedAt is the indexer's job clock when the plan was created;
+	// pending offers whose plan has aged past pendingTTL ticks are
+	// dropped (an abandoned job's offers must not fire builds later).
+	observedAt uint64
+	// err is the stream's most recent build error, read via LastErr /
+	// StreamErr. Per plan, like the counters: a concurrent stream's job
+	// start must not wipe another stream's failure.
+	err error
 }
 
-// Indexer piggybacks lazy index creation on MapReduce job execution. Wire
-// it into a job by setting core.InputFormat.Adaptive = idx and
-// mapred.Engine.PostTask = idx.AfterTask.
-type Indexer struct {
-	Cluster *hdfs.Cluster
-	// OfferRate is the fraction of a job's unindexed blocks converted
-	// during that job, in (0, 1]; at least one block is offered whenever
-	// any block misses. 0 defaults to DefaultOfferRate; negative disables
-	// conversion (the ledger still records demand).
-	OfferRate float64
-	// BudgetBytes caps the extra storage adaptive conversions may
-	// consume, summed across all jobs: a replica added on a free node
-	// counts its full stored size, an in-place replacement only its
-	// growth (the index). 0 means unbounded. Once the cap is reached the
-	// offer loop refuses further builds (JobPlan.BudgetDenied) instead of
-	// growing without bound; the last build before the cap may overshoot
-	// it by at most one replica.
-	BudgetBytes int64
+// pendingTTL is how many job-clock ticks a pending offer survives
+// without its (file, column) stream re-observing. Offers are normally
+// consumed by the very job that made them; the TTL only matters for
+// offers orphaned by a failed or abandoned job, which must not fire
+// builds for a column nothing demands anymore. Generous enough that a
+// slow job overlapped by many other streams' ObserveJob ticks keeps its
+// offers.
+const pendingTTL = 16
 
-	mu      sync.Mutex
-	ledger  *Ledger
-	pending map[hdfs.BlockID]pendingBuild
-	job     JobPlan
-	extra   int64 // extra storage consumed so far, against BudgetBytes
-	lastErr error
-}
-
-type pendingBuild struct {
+// planKey identifies one (file, column) conversion stream.
+type planKey struct {
 	file string
 	col  int
+}
+
+// replicaRecord is the lifecycle manager's registry entry for one
+// adaptive replica it built and charged against the budget.
+type replicaRecord struct {
+	file    string
+	col     int
+	block   hdfs.BlockID
+	node    hdfs.NodeID
+	charged int64 // bytes charged against BudgetBytes
+	added   bool  // stored as an additional replica (evictable)
+	// Heat: the logical clock (one tick per ObserveJob) of the last job
+	// whose split phase index-scanned this replica, and how often that
+	// happened. Builds count as a touch.
+	lastTouch uint64
+	touches   int
+}
+
+// repID keys the replica registry: one adaptive replica per (block,
+// column) — rebuilding the same column elsewhere (e.g. after a node loss)
+// replaces the entry and retires the orphan.
+type repID struct {
+	block hdfs.BlockID
+	col   int
+}
+
+// dropKey identifies one physical replica selected for eviction but not
+// yet dropped from the cluster — the in-flight set the readability guard
+// must not count as a survivor.
+type dropKey struct {
+	block hdfs.BlockID
+	node  hdfs.NodeID
+}
+
+// ReplicaHeat is the exported view of one registry entry, for reports and
+// tests.
+type ReplicaHeat struct {
+	File      string
+	Column    int
+	Block     hdfs.BlockID
+	Node      hdfs.NodeID
+	Bytes     int64
+	Added     bool
+	Touches   int
+	LastTouch uint64
+}
+
+// Indexer piggybacks lazy index creation on MapReduce job execution and
+// manages the lifecycle of the replicas it creates. Wire it into a job by
+// setting core.InputFormat.Adaptive = idx and mapred.Engine.PostTask =
+// idx.AfterTask. All configuration (offer rate, budget, eviction) is read
+// under the indexer's lock, so it may be adjusted between jobs while
+// other goroutines still run AfterTask callbacks.
+type Indexer struct {
+	Cluster *hdfs.Cluster
+
+	mu sync.Mutex
+	// rate is the fraction of a job's unindexed blocks converted during
+	// that job, in (0, 1]; at least one block is offered whenever any
+	// block misses. 0 defaults to DefaultOfferRate; negative disables
+	// conversion (the ledger still records demand).
+	rate float64
+	// budget caps the extra storage adaptive conversions may consume,
+	// summed across all jobs: a replica added on a free node counts its
+	// full stored size, an in-place replacement only its growth (the
+	// index). 0 means unbounded. Once the cap is reached the offer loop
+	// refuses further builds (JobPlan.BudgetDenied) — or, with evict set,
+	// drops the coldest adaptive replicas to make room; the last build
+	// before the cap may overshoot it by at most one replica.
+	budget int64
+	evict  bool
+
+	ledger *Ledger
+	clock  uint64 // logical job clock: one tick per ObserveJob
+	// pending maps each offered block to the (file, column) plans that
+	// offered it; AfterTask consumes entries as the blocks' tasks finish.
+	pending  map[hdfs.BlockID]map[planKey]*JobPlan
+	plans    map[planKey]*JobPlan
+	lastKey  planKey
+	hasLast  bool
+	replicas map[repID]*replicaRecord
+	// dropping marks replicas selected for eviction whose cluster drop
+	// has not landed yet (the drop runs outside the lock); the victim
+	// selection's readability guard treats them as already gone.
+	dropping map[dropKey]bool
+	extra    int64 // extra storage consumed so far, against budget
 }
 
 // New returns an Indexer for the cluster. offerRate 0 selects
 // DefaultOfferRate.
 func New(cluster *hdfs.Cluster, offerRate float64) *Indexer {
-	return &Indexer{Cluster: cluster, OfferRate: offerRate, ledger: NewLedger()}
+	return &Indexer{
+		Cluster:  cluster,
+		rate:     offerRate,
+		ledger:   NewLedger(),
+		pending:  make(map[hdfs.BlockID]map[planKey]*JobPlan),
+		plans:    make(map[planKey]*JobPlan),
+		replicas: make(map[repID]*replicaRecord),
+		dropping: make(map[dropKey]bool),
+	}
+}
+
+// SetOfferRate changes the offer rate (0 selects DefaultOfferRate,
+// negative disables conversion). Safe to call while jobs run.
+func (i *Indexer) SetOfferRate(r float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rate = r
+}
+
+// SetBudgetBytes sets the extra-storage cap (0 = unbounded).
+func (i *Indexer) SetBudgetBytes(n int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.budget = n
+}
+
+// BudgetBytes returns the configured extra-storage cap.
+func (i *Indexer) BudgetBytes() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.budget
+}
+
+// SetEvict enables or disables the eviction policy: with it on, a build
+// that would exceed the budget drops the coldest adaptive replicas to
+// reclaim space instead of being denied.
+func (i *Indexer) SetEvict(on bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.evict = on
+}
+
+// EvictEnabled reports whether the eviction policy is on.
+func (i *Indexer) EvictEnabled() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.evict
 }
 
 // Ledger returns the indexer's index-demand ledger.
@@ -128,127 +291,414 @@ func (i *Indexer) Ledger() *Ledger {
 	return i.ledger
 }
 
-func (i *Indexer) offerRate() float64 {
-	if i.OfferRate == 0 {
+// offerRateLocked resolves the 0-means-default sentinel. Caller holds
+// i.mu.
+func (i *Indexer) offerRateLocked() float64 {
+	if i.rate == 0 {
 		return DefaultOfferRate
 	}
-	return i.OfferRate
+	return i.rate
 }
 
 // EffectiveOfferRate resolves the 0-means-default sentinel: the rate the
 // indexer actually plans with (negative means conversion is disabled).
-func (i *Indexer) EffectiveOfferRate() float64 { return i.offerRate() }
+func (i *Indexer) EffectiveOfferRate() float64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.offerRateLocked()
+}
 
 // ObserveJob implements core.AdaptiveObserver: it records every missing
-// (block, column) in the ledger and selects the offer-rate-bounded subset
-// of missing blocks to convert during this job. Any conversions still
-// pending from a previous job are dropped — demand is re-derived from the
-// current workload each job.
+// (block, column) in the ledger, stamps the heat of the adaptive replicas
+// serving this job's index scans, and selects the offer-rate-bounded
+// subset of missing blocks to convert during this job. Offers pending for
+// the *same* (file, column) from a previous job are dropped — demand for
+// a column is re-derived from the current workload each job — but offers
+// for other columns (concurrent or interleaved jobs) are untouched.
 func (i *Indexer) ObserveJob(file string, column int, indexed, missing []hdfs.BlockID) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if i.ledger == nil {
 		i.ledger = NewLedger()
 	}
+	i.clock++
 	for _, b := range missing {
 		i.ledger.RecordMiss(file, b, column)
 	}
+	// Heat: an index-scan split over an adaptive replica is a touch.
+	for _, b := range indexed {
+		if r, ok := i.replicas[repID{b, column}]; ok && r.file == file {
+			r.lastTouch = i.clock
+			r.touches++
+		}
+	}
 
+	key := planKey{file, column}
 	offer := 0
-	if rate := i.offerRate(); rate > 0 && len(missing) > 0 {
+	if rate := i.offerRateLocked(); rate > 0 && len(missing) > 0 {
 		offer = int(math.Ceil(rate * float64(len(missing))))
 		if offer > len(missing) {
 			offer = len(missing)
 		}
 	}
 	denied := 0
-	if offer > 0 && i.BudgetBytes > 0 && i.extra >= i.BudgetBytes {
-		// Extra-storage budget exhausted: keep recording demand, build
-		// nothing more.
+	if offer > 0 && i.budget > 0 && i.extra >= i.budget &&
+		!(i.evict && i.extra-i.evictableBytesLocked(key) < i.budget) {
+		// Extra-storage budget exhausted and eviction — off, or unable to
+		// reclaim enough even by retiring every candidate — cannot make
+		// room: keep recording demand, build nothing more. With eviction
+		// enabled and sufficient evictable bytes the offers stand — the
+		// build step reclaims budget replica by replica.
 		denied = offer
 		offer = 0
+	}
+	// Drop this key's superseded offers — demand for a column is
+	// re-derived each job — and expire offers whose stream went silent:
+	// an abandoned job's offers must not fire builds for a column
+	// nothing demands anymore.
+	for b, m := range i.pending {
+		for k, p := range m {
+			if k == key || p.observedAt+pendingTTL < i.clock {
+				delete(m, k)
+			}
+		}
+		if len(m) == 0 {
+			delete(i.pending, b)
+		}
+	}
+	plan := &JobPlan{
+		File: file, Column: column,
+		Indexed: len(indexed), Missing: len(missing), Offered: offer,
+		BudgetDenied: denied,
+		observedAt:   i.clock,
 	}
 	// Deterministic selection: lowest block IDs first.
 	sel := append([]hdfs.BlockID(nil), missing...)
 	sort.Slice(sel, func(a, b int) bool { return sel[a] < sel[b] })
-	i.pending = make(map[hdfs.BlockID]pendingBuild, offer)
 	for _, b := range sel[:offer] {
-		i.pending[b] = pendingBuild{file: file, col: column}
+		m := i.pending[b]
+		if m == nil {
+			m = make(map[planKey]*JobPlan, 1)
+			i.pending[b] = m
+		}
+		m[key] = plan
 	}
-	i.job = JobPlan{
-		File: file, Column: column,
-		Indexed: len(indexed), Missing: len(missing), Offered: offer,
-		BudgetDenied: denied,
-	}
-	i.lastErr = nil // errors are per job, like the plan
+	i.plans[key] = plan
+	i.lastKey, i.hasLast = key, true
 }
 
 // AfterTask is the mapred.Engine PostTask hook: for every block of the
-// finished task that was offered for conversion, it sorts the block on
-// the target column, builds its clustered index, and stores the
-// reorganized replica. It runs on the task's worker goroutine, so the
-// build overlaps the job's remaining map tasks.
+// finished task that was offered for conversion — by any (file, column)
+// stream — it sorts the block on the target column, builds its clustered
+// index, and stores the reorganized replica. It runs on the task's worker
+// goroutine, so the build overlaps the job's remaining map tasks.
 func (i *Indexer) AfterTask(report mapred.TaskReport) {
+	type build struct {
+		key  planKey
+		plan *JobPlan
+	}
 	for _, b := range report.Split.Blocks {
 		i.mu.Lock()
-		p, ok := i.pending[b]
-		if ok {
+		var builds []build
+		if m := i.pending[b]; len(m) > 0 {
+			for k, p := range m {
+				builds = append(builds, build{k, p})
+			}
 			delete(i.pending, b)
 		}
 		i.mu.Unlock()
-		if !ok {
-			continue
+		// Deterministic build order under map iteration: by (file, column).
+		sort.Slice(builds, func(a, c int) bool {
+			if builds[a].key.file != builds[c].key.file {
+				return builds[a].key.file < builds[c].key.file
+			}
+			return builds[a].key.col < builds[c].key.col
+		})
+		for _, bd := range builds {
+			i.buildOne(bd.key, bd.plan, b, report.Node)
 		}
-		i.buildOne(p.file, b, p.col, report.Node)
 	}
 }
 
-// LastJob returns the most recent job's plan and build outcome.
+// LastJob returns the plan and build outcome of the most recently
+// observed job. With several (file, column) streams in flight, Plan gives
+// per-stream access.
 func (i *Indexer) LastJob() JobPlan {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.job
+	if !i.hasLast {
+		return JobPlan{}
+	}
+	return clonePlan(i.plans[i.lastKey])
+}
+
+// Plan returns the most recent plan for one (file, column) stream.
+func (i *Indexer) Plan(file string, col int) (JobPlan, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	p, ok := i.plans[planKey{file, col}]
+	if !ok {
+		return JobPlan{}, false
+	}
+	return clonePlan(p), true
+}
+
+func clonePlan(p *JobPlan) JobPlan {
+	if p == nil {
+		return JobPlan{}
+	}
+	out := *p
+	out.EvictedReplicas = append([]EvictedReplica(nil), p.EvictedReplicas...)
+	return out
 }
 
 // ExtraBytes returns the extra storage adaptive conversions have consumed
-// so far — the quantity BudgetBytes caps.
+// so far — the quantity BudgetBytes caps, net of evictions.
 func (i *Indexer) ExtraBytes() int64 {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.extra
 }
 
-// LastErr returns the most recent build error, if any.
+// Replicas returns the lifecycle registry — every adaptive replica
+// currently charged against the budget, with its heat — sorted by (file,
+// column, block) for deterministic reports.
+func (i *Indexer) Replicas() []ReplicaHeat {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]ReplicaHeat, 0, len(i.replicas))
+	for _, r := range i.replicas {
+		out = append(out, ReplicaHeat{
+			File: r.file, Column: r.col, Block: r.block, Node: r.node,
+			Bytes: r.charged, Added: r.added,
+			Touches: r.touches, LastTouch: r.lastTouch,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].File != out[b].File {
+			return out[a].File < out[b].File
+		}
+		if out[a].Column != out[b].Column {
+			return out[a].Column < out[b].Column
+		}
+		return out[a].Block < out[b].Block
+	})
+	return out
+}
+
+// LastErr returns the most recently observed stream's build error, if
+// any. Errors live on the stream's plan, like the counters — a
+// concurrent stream starting a job never wipes another stream's failure;
+// a stream's error clears when its own next job is observed. StreamErr
+// reads a specific stream.
 func (i *Indexer) LastErr() error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.lastErr
+	if !i.hasLast {
+		return nil
+	}
+	if p := i.plans[i.lastKey]; p != nil {
+		return p.err
+	}
+	return nil
 }
 
-// buildOne converts one block: read any replica, re-sort on col, build
-// the sparse clustered index, and store the result — in place of an
-// unsorted replica when one exists (no extra storage beyond the index),
-// as an additional replica on a free node otherwise.
-func (i *Indexer) buildOne(file string, b hdfs.BlockID, col int, near hdfs.NodeID) {
+// StreamErr returns the most recent build error of one (file, column)
+// stream's current plan.
+func (i *Indexer) StreamErr(file string, col int) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if p := i.plans[planKey{file, col}]; p != nil {
+		return p.err
+	}
+	return nil
+}
+
+// selectVictimsLocked picks the adaptive replicas to retire so that
+// `need` more budget bytes fit, never cannibalizing the requesting
+// (file, column) stream. Victims must be strictly colder than the
+// current job (lastTouch < clock) and evictable:
+//
+//   - only *added* replicas qualify — an in-place conversion reorganized
+//     one of the file's original replicas, so dropping it would shrink
+//     the file below its upload replication (its budget charge is only
+//     the index growth anyway);
+//   - a victim on an alive node must leave the block with another alive
+//     replica (dropping the only readable copy would trade budget for an
+//     unreadable block); replicas already selected for dropping — in this
+//     batch or by a concurrent build whose drop has not landed yet
+//     (i.dropping) — do not count as survivors, so two victims of one
+//     block can never be selected against each other; dead-node orphans
+//     are always evictable and are retired first — they serve nobody.
+//
+// Among equally dead-or-alive candidates the order is least recently
+// touched first, then lower ledger demand (Misses for the victim's
+// column), then block/column for determinism. If the evictable total
+// cannot cover `need`, nothing is evicted — retiring replicas without
+// unblocking the build would be pure churn. The selected records are
+// removed from the registry and their charge released; the caller drops
+// the physical replicas after releasing the lock.
+func (i *Indexer) selectVictimsLocked(requester planKey, need int64) []*replicaRecord {
+	type cand struct {
+		r      *replicaRecord
+		dead   bool
+		misses int
+	}
+	aliveSurvivors := func(r *replicaRecord) int {
+		n := 0
+		for _, h := range i.Cluster.NameNode().GetHosts(r.block) {
+			if h == r.node || i.dropping[dropKey{r.block, h}] {
+				continue
+			}
+			if dn, err := i.Cluster.DataNode(h); err == nil && dn.Alive() {
+				n++
+			}
+		}
+		return n
+	}
+	var cands []cand
+	for _, r := range i.replicas {
+		if (planKey{r.file, r.col}) == requester || !r.added {
+			continue
+		}
+		if r.lastTouch >= i.clock {
+			continue // touched by the current job's own split phase
+		}
+		dead := true
+		if dn, err := i.Cluster.DataNode(r.node); err == nil && dn.Alive() {
+			dead = false
+		}
+		misses := 0
+		if d, ok := i.ledger.Demand(r.file, r.col); ok {
+			misses = d.Misses
+		}
+		cands = append(cands, cand{r, dead, misses})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dead != cands[b].dead {
+			return cands[a].dead // orphans on dead nodes go first
+		}
+		if cands[a].r.lastTouch != cands[b].r.lastTouch {
+			return cands[a].r.lastTouch < cands[b].r.lastTouch
+		}
+		if cands[a].misses != cands[b].misses {
+			return cands[a].misses < cands[b].misses
+		}
+		if cands[a].r.block != cands[b].r.block {
+			return cands[a].r.block < cands[b].r.block
+		}
+		return cands[a].r.col < cands[b].r.col
+	})
+	// Greedy pick in priority order, applying the readability guard
+	// against the victims picked so far: an alive victim must leave the
+	// block another alive replica that is not itself being dropped.
+	var victims []*replicaRecord
+	var avail int64
+	for _, c := range cands {
+		if avail >= need {
+			break
+		}
+		if !c.dead && aliveSurvivors(c.r) == 0 {
+			continue // would be the block's last readable replica
+		}
+		i.dropping[dropKey{c.r.block, c.r.node}] = true
+		victims = append(victims, c.r)
+		avail += c.r.charged
+	}
+	if avail < need {
+		// Not enough evictable bytes: retiring replicas without
+		// unblocking the build would be pure churn. Undo the tentative
+		// selection.
+		for _, v := range victims {
+			delete(i.dropping, dropKey{v.block, v.node})
+		}
+		return nil
+	}
+	for _, v := range victims {
+		delete(i.replicas, repID{v.block, v.col})
+		i.extra -= v.charged
+	}
+	return victims
+}
+
+// evictableBytesLocked sums the budget charges eviction could possibly
+// reclaim for requester — the cheap screen the offer and build paths use
+// to keep the pre-eviction early-deny behaviour when eviction is on but
+// can never succeed: a stream is hopeless when even retiring every
+// candidate leaves the budget full (extra − evictable ≥ budget), e.g.
+// because every conversion was in-place or the charges are too small. It
+// deliberately ignores heat and liveness — a false positive costs at
+// most one job's wasted builds, a false negative would freeze the
+// stream; the strict filters run at reservation time.
+func (i *Indexer) evictableBytesLocked(requester planKey) int64 {
+	var n int64
+	for _, r := range i.replicas {
+		if r.added && (planKey{r.file, r.col}) != requester {
+			n += r.charged
+		}
+	}
+	return n
+}
+
+// dropVictims retires the selected replicas from the cluster. Runs
+// without i.mu held: DropReplica takes namenode shard locks and fires the
+// replica-change hook (the result cache's purge path). Only successful
+// drops are reported as evictions; a failed drop restores the victim's
+// registry entry and budget charge so the accounting keeps matching the
+// directory.
+func (i *Indexer) dropVictims(plan *JobPlan, victims []*replicaRecord) {
+	for _, v := range victims {
+		err := i.Cluster.DropReplica(v.block, v.node)
+		i.mu.Lock()
+		delete(i.dropping, dropKey{v.block, v.node})
+		if err != nil {
+			plan.err = fmt.Errorf("adaptive: evict block %d column %d from node %d: %v", v.block, v.col, v.node, err)
+			if _, taken := i.replicas[repID{v.block, v.col}]; !taken {
+				i.replicas[repID{v.block, v.col}] = v
+				i.extra += v.charged
+			}
+			i.mu.Unlock()
+			continue
+		}
+		plan.Evicted++
+		plan.EvictedBytes += v.charged
+		plan.EvictedReplicas = append(plan.EvictedReplicas, EvictedReplica{
+			File: v.file, Column: v.col, Block: v.block, Node: v.node, Bytes: v.charged,
+		})
+		i.mu.Unlock()
+	}
+}
+
+// buildOne converts one block for one (file, column) stream: read any
+// replica, re-sort on col, build the sparse clustered index, and store
+// the result — in place of an unsorted replica when one exists (no extra
+// storage beyond the index), as an additional replica on a free node
+// otherwise.
+func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs.NodeID) {
+	file, col := key.file, key.col
 	fail := func(err error) {
 		i.mu.Lock()
-		i.job.Failed++
-		i.lastErr = fmt.Errorf("adaptive: block %d column %d: %v", b, col, err)
+		plan.Failed++
+		plan.err = fmt.Errorf("adaptive: block %d column %d: %v", b, col, err)
 		i.mu.Unlock()
 	}
 
 	// Builds earlier in this very job may have exhausted the budget since
-	// the offer was made; re-check before paying for anything.
-	if i.BudgetBytes > 0 {
-		i.mu.Lock()
-		over := i.extra >= i.BudgetBytes
-		if over {
-			i.job.BudgetDenied++
-		}
-		i.mu.Unlock()
-		if over {
-			return
-		}
+	// the offer was made; re-check before paying for anything. With
+	// eviction on, the exact decision needs the replica's size (it
+	// happens at reservation time below), but when even retiring every
+	// evictable replica could not bring the budget under the cap the
+	// build is already hopeless — skip it before the read+sort+index
+	// work, like the pre-eviction path always did.
+	i.mu.Lock()
+	over := i.budget > 0 && i.extra >= i.budget &&
+		!(i.evict && i.extra-i.evictableBytesLocked(key) < i.budget)
+	if over {
+		plan.BudgetDenied++
+	}
+	i.mu.Unlock()
+	if over {
+		return
 	}
 
 	// Choose the placement before paying for the read and sort: on a
@@ -258,9 +708,9 @@ func (i *Indexer) buildOne(file string, b hdfs.BlockID, col int, near hdfs.NodeI
 	target, replace := i.findUnsortedReplica(b)
 	if !replace {
 		var ok bool
-		if target, ok = i.pickFreeNode(b); !ok {
+		if target, ok = i.pickFreeNode(b, nil); !ok {
 			i.mu.Lock()
-			i.job.Skipped++
+			plan.Skipped++
 			i.mu.Unlock()
 			return
 		}
@@ -305,21 +755,51 @@ func (i *Indexer) buildOne(file string, b hdfs.BlockID, col int, near hdfs.NodeI
 	// window would let every in-flight build pass while extra is still
 	// under the cap. Reserving caps the overshoot at one replica per
 	// budget crossing; the reservation is released if the store fails.
+	// With eviction enabled, a build that would cross the cap first
+	// retires the coldest adaptive replicas (selected under the same
+	// lock, dropped from the cluster after it is released).
+	var victims []*replicaRecord
 	i.mu.Lock()
-	if i.BudgetBytes > 0 && i.extra >= i.BudgetBytes {
-		i.job.BudgetDenied++
+	if i.budget > 0 && i.evict && i.extra+extraDelta > i.budget {
+		victims = i.selectVictimsLocked(key, i.extra+extraDelta-i.budget)
+	}
+	if i.budget > 0 && i.extra >= i.budget {
+		plan.BudgetDenied++
 		i.mu.Unlock()
+		i.dropVictims(plan, victims)
 		return
 	}
 	i.extra += extraDelta
 	i.mu.Unlock()
+	i.dropVictims(plan, victims)
 
-	if replace {
-		err = i.Cluster.ReplaceReplica(b, target, framed, info)
-	} else {
-		err = i.Cluster.StoreAdditionalReplica(b, target, framed, info)
-	}
-	if err != nil {
+	collided := make(map[hdfs.NodeID]bool)
+	for {
+		if replace {
+			err = i.Cluster.ReplaceReplica(b, target, framed, info)
+		} else {
+			err = i.Cluster.StoreAdditionalReplica(b, target, framed, info)
+		}
+		if err == nil {
+			break
+		}
+		if !replace && errors.Is(err, hdfs.ErrReplicaExists) {
+			// Benign capacity race: a concurrent build or recovery put a
+			// replica on the node after pickFreeNode chose it (or ghost
+			// bytes survive on a revived node the directory no longer
+			// lists). Re-pick around the collision; with every node
+			// occupied this is a skip, not a failure.
+			collided[target] = true
+			var ok bool
+			if target, ok = i.pickFreeNode(b, collided); ok {
+				continue
+			}
+			i.mu.Lock()
+			i.extra -= extraDelta
+			plan.Skipped++
+			i.mu.Unlock()
+			return
+		}
 		i.mu.Lock()
 		i.extra -= extraDelta
 		i.mu.Unlock()
@@ -328,19 +808,42 @@ func (i *Indexer) buildOne(file string, b hdfs.BlockID, col int, near hdfs.NodeI
 	}
 
 	i.mu.Lock()
-	i.job.Built++
+	plan.Built++
 	if replace {
-		i.job.ReplicasReplaced++
+		plan.ReplicasReplaced++
 	} else {
-		i.job.ReplicasAdded++
+		plan.ReplicasAdded++
 	}
 	// Sorting rewrites the whole PAX payload; the sorted marshal is the
 	// same size as the input block.
-	i.job.SortedBytes += int64(len(paxData))
-	i.job.IndexBytes += int64(info.IndexSize)
-	i.job.StoredBytes += int64(len(framed))
+	plan.SortedBytes += int64(len(paxData))
+	plan.IndexBytes += int64(info.IndexSize)
+	plan.StoredBytes += int64(len(framed))
+	// Lifecycle registry: the new replica starts hot (a build is a
+	// touch). A previous adaptive replica for the same (block, column) —
+	// orphaned on a dead node, which is why the block showed up missing
+	// again — is retired: its budget charge is released and the stale
+	// directory entry dropped, so the registry tracks exactly the
+	// replicas the budget pays for.
+	id := repID{b, col}
+	orphan := i.replicas[id]
+	if orphan != nil {
+		i.extra -= orphan.charged
+	}
+	i.replicas[id] = &replicaRecord{
+		file: file, col: col, block: b, node: target,
+		charged: extraDelta, added: !replace,
+		lastTouch: i.clock, touches: 1,
+	}
 	i.ledger.RecordBuilt(file, b, col)
 	i.mu.Unlock()
+	if orphan != nil && orphan.node != target {
+		if err := i.Cluster.DropReplica(orphan.block, orphan.node); err != nil {
+			i.mu.Lock()
+			plan.err = fmt.Errorf("adaptive: retire orphaned replica of block %d on node %d: %v", orphan.block, orphan.node, err)
+			i.mu.Unlock()
+		}
+	}
 }
 
 // findUnsortedReplica returns an alive node holding an unsorted, unindexed
@@ -361,15 +864,16 @@ func (i *Indexer) findUnsortedReplica(b hdfs.BlockID) (hdfs.NodeID, bool) {
 }
 
 // pickFreeNode returns an alive node not yet holding a replica of b,
-// spreading adaptive replicas across the cluster by block ID.
-func (i *Indexer) pickFreeNode(b hdfs.BlockID) (hdfs.NodeID, bool) {
+// spreading adaptive replicas across the cluster by block ID. exclude
+// lists nodes a placement race already collided on.
+func (i *Indexer) pickFreeNode(b hdfs.BlockID, exclude map[hdfs.NodeID]bool) (hdfs.NodeID, bool) {
 	holders := make(map[hdfs.NodeID]bool)
 	for _, h := range i.Cluster.NameNode().GetHosts(b) {
 		holders[h] = true
 	}
 	var cands []hdfs.NodeID
 	for _, n := range i.Cluster.AliveNodes() {
-		if !holders[n] {
+		if !holders[n] && !exclude[n] {
 			cands = append(cands, n)
 		}
 	}

@@ -13,18 +13,21 @@ import (
 	"repro/internal/schema"
 )
 
-// testSchema: a (int32), b (string), c (int32). The static layout never
-// indexes c, so queries filtering on c exercise the adaptive path.
+// testSchema: a (int32), b (string), c (int32), d (int32). The static
+// layout never indexes c or d, so queries filtering on them exercise the
+// adaptive path — two of them, so a shifting workload (c hot → d hot)
+// exercises the lifecycle manager.
 var testSchema = schema.MustNew(
 	schema.Field{Name: "a", Type: schema.Int32},
 	schema.Field{Name: "b", Type: schema.String},
 	schema.Field{Name: "c", Type: schema.Int32},
+	schema.Field{Name: "d", Type: schema.Int32},
 )
 
 func testLines(n int) []string {
 	lines := make([]string, 0, n)
 	for i := 0; i < n; i++ {
-		lines = append(lines, fmt.Sprintf("%d,word-%d,%d", i%7, i, i%13))
+		lines = append(lines, fmt.Sprintf("%d,word-%d,%d,%d", i%7, i, i%13, i%11))
 	}
 	return lines
 }
@@ -60,14 +63,23 @@ func cQuery() *query.Query {
 	}
 }
 
-// runJob executes one adaptive job and returns its result.
-func runJob(t *testing.T, cluster *hdfs.Cluster, file string, idx *Indexer) *mapred.JobResult {
+// dQuery filters on the other never-indexed attribute — the column the
+// workload shifts to in the lifecycle tests.
+func dQuery() *query.Query {
+	return &query.Query{
+		Filter:     []query.Predicate{query.Between(3, schema.IntVal(1), schema.IntVal(4))},
+		Projection: []int{0, 3},
+	}
+}
+
+// runQueryJob executes one adaptive job with the given query.
+func runQueryJob(t *testing.T, cluster *hdfs.Cluster, file string, idx *Indexer, q *query.Query) *mapred.JobResult {
 	t.Helper()
 	engine := &mapred.Engine{Cluster: cluster, PostTask: idx.AfterTask}
 	res, err := engine.Run(&mapred.Job{
 		Name:  "adaptive-test",
 		File:  file,
-		Input: &core.InputFormat{Cluster: cluster, Query: cQuery(), Adaptive: idx},
+		Input: &core.InputFormat{Cluster: cluster, Query: q, Adaptive: idx},
 		Map: func(r mapred.Record, emit mapred.Emit) {
 			if !r.Bad {
 				emit(r.Row.Line(','), "")
@@ -81,6 +93,12 @@ func runJob(t *testing.T, cluster *hdfs.Cluster, file string, idx *Indexer) *map
 		t.Fatal(err)
 	}
 	return res
+}
+
+// runJob executes one adaptive job on the c-column query.
+func runJob(t *testing.T, cluster *hdfs.Cluster, file string, idx *Indexer) *mapred.JobResult {
+	t.Helper()
+	return runQueryJob(t, cluster, file, idx, cQuery())
 }
 
 func TestLedgerDemand(t *testing.T) {
@@ -337,7 +355,7 @@ func TestBudgetCapsExtraStorage(t *testing.T) {
 		t.Fatal(err)
 	}
 	blockSize := int64(len(data))
-	idx.BudgetBytes = blockSize + blockSize/2 // room for ~1 replica, then deny
+	idx.SetBudgetBytes(blockSize + blockSize/2) // room for ~1 replica, then deny
 
 	var denied, built int
 	for j := 0; j < 4; j++ {
@@ -353,8 +371,8 @@ func TestBudgetCapsExtraStorage(t *testing.T) {
 		t.Fatal("no builds denied despite an exhausted budget")
 	}
 	// Overshoot is bounded by one replica.
-	if extra := idx.ExtraBytes(); extra > idx.BudgetBytes+2*blockSize {
-		t.Errorf("extra storage %d far exceeds budget %d", extra, idx.BudgetBytes)
+	if extra := idx.ExtraBytes(); extra > idx.BudgetBytes()+2*blockSize {
+		t.Errorf("extra storage %d far exceeds budget %d", extra, idx.BudgetBytes())
 	}
 	if got := idx.ExtraBytes(); got == 0 {
 		t.Error("ExtraBytes = 0 after successful builds")
@@ -414,7 +432,10 @@ func TestLedgerConcurrentStress(t *testing.T) {
 }
 
 // TestIndexerConcurrentAfterTask races AfterTask callbacks (as the engine
-// fires them from parallel workers) against ledger reads.
+// fires them from parallel workers) against ledger reads and — the
+// satellite regression for the unlocked OfferRate/BudgetBytes fields —
+// concurrent configuration reads and writes, which the engine's build
+// goroutines consult mid-job.
 func TestIndexerConcurrentAfterTask(t *testing.T) {
 	cluster, file := upload(t, 8, 2_000, []int{0, -1})
 	idx := New(cluster, 1.0)
@@ -422,6 +443,7 @@ func TestIndexerConcurrentAfterTask(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		n := 0
 		for {
 			select {
 			case <-done:
@@ -429,6 +451,16 @@ func TestIndexerConcurrentAfterTask(t *testing.T) {
 			default:
 				_ = idx.Ledger().Demands(file)
 				_ = idx.LastJob()
+				_ = idx.EffectiveOfferRate()
+				_ = idx.BudgetBytes()
+				_ = idx.Replicas()
+				// Mutate the config while builds run: offer rate stays
+				// positive so the job still converges, the budget stays
+				// unbounded.
+				idx.SetOfferRate(1.0 - float64(n%3)*0.1)
+				idx.SetBudgetBytes(0)
+				idx.SetEvict(n%2 == 0)
+				n++
 			}
 		}
 	}()

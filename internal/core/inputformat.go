@@ -37,7 +37,11 @@ type InputFormat struct {
 	// coverage report for the query's filter column, including the blocks
 	// that would fall back to a full scan. The adaptive indexer uses it to
 	// record index demand and to plan lazy index creation during the job
-	// (LIAH-style); nil keeps the static HAIL behaviour.
+	// (LIAH-style); the indexed blocks double as the lifecycle manager's
+	// heat signal — every index-scan split an adaptive replica serves
+	// stamps that replica's (file, column, block) entry, which is what
+	// its eviction policy ranks cold replicas by. nil keeps the static
+	// HAIL behaviour.
 	Adaptive AdaptiveObserver
 	// PackScans extends packing to the blocks §4.3 leaves per-block:
 	// blocks with no usable index — and, when CachedReplica is wired,

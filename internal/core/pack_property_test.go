@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hdfs"
 	"repro/internal/mapred"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/workload"
 )
@@ -110,6 +111,176 @@ func TestPackingPolicyProperty(t *testing.T) {
 					}
 				}
 				check(fmt.Sprintf("step%d(dead=%d)", step, len(dead)))
+			}
+		})
+	}
+}
+
+// assertRegisteredPins is the ghost-replica regression: every replica pin
+// a split carries must point at a node the namenode directory currently
+// lists as a holder of that block — a pin to a dropped (or never-held)
+// replica is a promise the reader cannot keep.
+func assertRegisteredPins(t *testing.T, cluster *hdfs.Cluster, splits []mapred.Split) {
+	t.Helper()
+	nn := cluster.NameNode()
+	for _, s := range splits {
+		for b, n := range s.Replica {
+			if _, ok := nn.ReplicaInfo(b, n); ok {
+				continue
+			}
+			t.Errorf("block %d pinned to node %d, which the directory does not list as a holder", b, n)
+		}
+	}
+}
+
+// TestDropReplicaCacheProperty extends the kill/revive packing property
+// test with replica drops — the primitive adaptive eviction is built on.
+// Under random drop/kill/revive sequences interleaved with cached packed
+// execution:
+//
+//  1. after any DropReplica, no qcache entry (block- or split-level)
+//     survives for the dropped block — the generation bump's change hook
+//     must purge both granularities;
+//  2. packed-scan pinning (including the CachedReplica probe's pins)
+//     never selects a dropped replica — no ghost pins;
+//  3. cached execution stays multiset-identical to the healthy-cluster
+//     uncached reference throughout.
+func TestDropReplicaCacheProperty(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + seed)))
+			cluster, _, sum, _ := uvFixture(t, 3000, workload.UserVisitsOptions{NeedleEvery: 400})
+			nn := cluster.NameNode()
+			q := scanOnlyQuery()
+			reference := outputMultiset(runHailQuery(t, cluster, "/uv", q, false))
+
+			cache := qcache.New(0)
+			nn.SetReplicaChangeHook(cache.InvalidateBlock)
+			defer nn.SetReplicaChangeHook(nil)
+
+			newInput := func() *InputFormat {
+				in := &InputFormat{
+					Cluster: cluster, Query: q,
+					Splitting: true, SplitsPerNode: 2, PackScans: true,
+				}
+				sig, _ := in.QuerySignature()
+				in.CachedReplica = func(b hdfs.BlockID) (hdfs.NodeID, bool) {
+					return cache.CachedReplica("/uv", b, nn.Generation(b), sig, workload.PassthroughMapSig)
+				}
+				return in
+			}
+			runCached := func(name string) *mapred.JobResult {
+				e := &mapred.Engine{Cluster: cluster, Cache: cache}
+				res, err := e.Run(&mapred.Job{
+					Name: name, File: "/uv", Input: newInput(),
+					Map: workload.PassthroughMap, MapSig: workload.PassthroughMapSig,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				return res
+			}
+
+			aliveHolders := func(b hdfs.BlockID, skip hdfs.NodeID) int {
+				n := 0
+				for _, h := range nn.GetHosts(b) {
+					if h == skip {
+						continue
+					}
+					if dn, err := cluster.DataNode(h); err == nil && dn.Alive() {
+						n++
+					}
+				}
+				return n
+			}
+			checkSplits := func(step string) {
+				in := newInput()
+				splits, err := in.Splits("/uv")
+				if err != nil {
+					t.Fatalf("%s: %v", step, err)
+				}
+				assertCoverage(t, splits, sum.BlockIDs)
+				assertAliveLocations(t, cluster, splits)
+				assertRegisteredPins(t, cluster, splits)
+			}
+
+			dead := map[hdfs.NodeID]bool{}
+			for step := 0; step < 6; step++ {
+				// Populate (or re-populate) the cache and gate equivalence.
+				got := outputMultiset(runCached(fmt.Sprintf("cached-step%d", step)))
+				if len(got) != len(reference) {
+					t.Fatalf("step %d: %d distinct rows, want %d", step, len(got), len(reference))
+				}
+				for k, v := range reference {
+					if got[k] != v {
+						t.Fatalf("step %d: cached result diverged for %q", step, k)
+					}
+				}
+
+				switch op := rng.Intn(3); {
+				case op == 0: // DropReplica on a block that stays ≥2-alive
+					var b hdfs.BlockID
+					var victim hdfs.NodeID = -1
+					for try := 0; try < 20 && victim == -1; try++ {
+						b = sum.BlockIDs[rng.Intn(len(sum.BlockIDs))]
+						hosts := nn.GetHosts(b)
+						n := hosts[rng.Intn(len(hosts))]
+						if aliveHolders(b, n) >= 2 {
+							victim = n
+						}
+					}
+					if victim == -1 {
+						continue // replication too thin everywhere; skip the op
+					}
+					if err := cluster.DropReplica(b, victim); err != nil {
+						t.Fatalf("step %d: DropReplica(%d,%d): %v", step, b, victim, err)
+					}
+					// Invariant 1: nothing cached survives for the block.
+					if be, se := cache.BlockEntries(b); be != 0 || se != 0 {
+						t.Fatalf("step %d: %d block / %d split cache entries survive for dropped block %d",
+							step, be, se, b)
+					}
+					// Invariant 2: no split pins the dropped replica.
+					checkSplits(fmt.Sprintf("step%d-drop", step))
+				case op == 1 && len(dead) == 0: // kill, if every block survives it
+					n := hdfs.NodeID(rng.Intn(cluster.NumNodes()))
+					safe := true
+					for _, b := range sum.BlockIDs {
+						if aliveHolders(b, n) == 0 {
+							safe = false
+							break
+						}
+					}
+					if !safe {
+						continue
+					}
+					if err := cluster.KillNode(n); err != nil {
+						t.Fatal(err)
+					}
+					dead[n] = true
+					checkSplits(fmt.Sprintf("step%d-kill", step))
+				default: // revive
+					for n := range dead {
+						if err := cluster.ReviveNode(n); err != nil {
+							t.Fatal(err)
+						}
+						delete(dead, n)
+						break
+					}
+					checkSplits(fmt.Sprintf("step%d-revive", step))
+				}
+			}
+			// Final end-to-end pass over whatever topology remains.
+			got := outputMultiset(runCached("cached-final"))
+			for k, v := range reference {
+				if got[k] != v {
+					t.Fatalf("final cached result diverged for %q", k)
+				}
 			}
 		})
 	}

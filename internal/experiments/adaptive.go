@@ -38,7 +38,11 @@ type AdaptiveJob struct {
 	BlocksBuilt       int
 	ReplicasAdded     int
 	ReplicasReplaced  int
-	Rows              int // real result rows (must be identical across jobs)
+	// Lifecycle counters: builds denied at the budget, and adaptive
+	// replicas evicted (with AdaptiveEvict) to fund this job's builds.
+	BudgetDenied int
+	Evicted      int
+	Rows         int // real result rows (must be identical across jobs)
 }
 
 // AdaptiveReport is the full result of the adaptive experiment.
@@ -103,7 +107,8 @@ func (r *Runner) ExpAdaptive(w Workload, jobs int, offerRate float64) (*Adaptive
 	f.scale = r.newScale(w, f.hailSum.TextBytes, f.hailSum.Rows, f.hailSum.Blocks)
 
 	idx := adaptive.New(cluster, offerRate)
-	idx.BudgetBytes = r.AdaptiveBudget
+	idx.SetBudgetBytes(r.AdaptiveBudget)
+	idx.SetEvict(r.AdaptiveEvict)
 	engine := &mapred.Engine{Cluster: cluster, PostTask: idx.AfterTask}
 	q := adaptiveQuery(w)
 
@@ -145,6 +150,8 @@ func (r *Runner) ExpAdaptive(w Workload, jobs int, offerRate float64) (*Adaptive
 			BlocksBuilt:       plan.Built,
 			ReplicasAdded:     plan.ReplicasAdded,
 			ReplicasReplaced:  plan.ReplicasReplaced,
+			BudgetDenied:      plan.BudgetDenied,
+			Evicted:           plan.Evicted,
 			Rows:              len(res.Output),
 		})
 		if j == 1 {

@@ -13,7 +13,7 @@ import (
 // divergence, order included before the first invalidation).
 func TestExpCacheTrajectory(t *testing.T) {
 	r := quickRunner()
-	rep, err := r.ExpCache(UserVisits, 6, 0, 0.5)
+	rep, err := r.ExpCache(UserVisits, 6, 0, 0.5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestExpCacheTrajectory(t *testing.T) {
 func TestExpCacheTinyBudgetStillCorrect(t *testing.T) {
 	skipIfShort(t)
 	r := quickRunner()
-	rep, err := r.ExpCache(UserVisits, 3, 16<<10, 0.5)
+	rep, err := r.ExpCache(UserVisits, 3, 16<<10, 0.5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestExpCacheTinyBudgetStillCorrect(t *testing.T) {
 func TestExpCacheFigure(t *testing.T) {
 	skipIfShort(t)
 	r := quickRunner()
-	rep, err := r.ExpCache(Synthetic, 3, 0, 0.5)
+	rep, err := r.ExpCache(Synthetic, 3, 0, 0.5, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,6 +113,22 @@ func (r *Runner) dispatchBlockRows(w Workload) int {
 	return rows
 }
 
+// dispatchBlockSize converts dispatchBlockRows into a text block size for
+// the given workload's lines — shared by ExpDispatch and ExpCache's
+// packed mode.
+func (r *Runner) dispatchBlockSize(w Workload, lines []string) int {
+	avg := 0
+	sample := lines
+	if len(sample) > 2000 {
+		sample = sample[:2000]
+	}
+	for _, l := range sample {
+		avg += len(l) + 1
+	}
+	avg /= len(sample)
+	return avg * r.dispatchBlockRows(w)
+}
+
 // dispatchJobTimes is the cost model for a mixed per-block/packed job:
 // per-block tasks scale with the paper-scale block count, packed tasks
 // stay at their measured count (they depend on cluster size, not data
@@ -150,16 +166,7 @@ func (r *Runner) dispatchJobTimes(f *fixture, res *mapred.JobResult) (e2e, workS
 // scenario.
 func (r *Runner) ExpDispatch(w Workload, cacheBudget int64) (*DispatchReport, error) {
 	lines := r.lines(w)
-	avg := 0
-	sample := lines
-	if len(sample) > 2000 {
-		sample = sample[:2000]
-	}
-	for _, l := range sample {
-		avg += len(l) + 1
-	}
-	avg /= len(sample)
-	blockSize := avg * r.dispatchBlockRows(w)
+	blockSize := r.dispatchBlockSize(w, lines)
 
 	cluster, err := r.newCluster()
 	if err != nil {

@@ -115,9 +115,15 @@ type Runner struct {
 	Seed         int64
 	Nodes        int // real cluster size (also the simulated node count)
 	// AdaptiveBudget caps the adaptive indexer's extra storage in the
-	// adaptive and cache experiments (0 = unbounded), mirroring the
-	// CLIs' -adaptive-budget flag.
+	// adaptive, cache and lifecycle experiments (0 = unbounded for the
+	// first two; ExpLifecycle auto-sizes a one-column budget instead),
+	// mirroring the CLIs' -adaptive-budget flag.
 	AdaptiveBudget int64
+	// AdaptiveEvict enables the adaptive replica lifecycle manager's
+	// eviction policy in ExpAdaptive (ExpLifecycle always runs with it):
+	// builds that would exceed the budget retire the coldest adaptive
+	// replicas instead of being denied, mirroring -adaptive-evict.
+	AdaptiveEvict bool
 	// NNShards is the namenode directory shard count for every cluster
 	// the Runner creates (0 = hdfs.DefaultShards; 1 = the historical
 	// unsharded layout), mirroring the CLIs' -nn-shards flag.

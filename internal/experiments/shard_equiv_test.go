@@ -54,7 +54,7 @@ func TestExpCacheShardEquivalence(t *testing.T) {
 	run := func(shards int) []byte {
 		r := quickRunner()
 		r.NNShards = shards
-		rep, err := r.ExpCache(UserVisits, 4, 0, 0.5)
+		rep, err := r.ExpCache(UserVisits, 4, 0, 0.5, false)
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}

@@ -1,9 +1,16 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrReplicaExists reports that the target node already stores a replica
+// of the block. StoreAdditionalReplica returns it (wrapped) when a
+// concurrent build or recovery won the placement race; callers treat it as
+// a benign capacity condition — re-pick a node or skip — not a failure.
+var ErrReplicaExists = errors.New("node already stores a replica of the block")
 
 // ReplicaTransform customizes what each datanode in an upload pipeline
 // stores for a block. HAIL injects per-replica sorting and indexing through
@@ -277,13 +284,38 @@ func (c *Cluster) StoreAdditionalReplica(b BlockID, node NodeID, data []byte, in
 		return err
 	}
 	if dn.HasReplica(b) {
-		return fmt.Errorf("hdfs: node %d already stores block %d", node, b)
+		return fmt.Errorf("hdfs: node %d, block %d: %w", node, b, ErrReplicaExists)
 	}
 	if err := dn.flush(b, data, checksumChunks(data)); err != nil {
 		return err
 	}
 	info.Size = len(data)
 	c.registerReplicaDirty(b, node, info)
+	return nil
+}
+
+// DropReplica removes one replica of a block — the storage side of
+// adaptive replica eviction: the lifecycle manager reclaims budget by
+// dropping the coldest adaptive replicas. The replica is unregistered from
+// the namenode directory (bumping the block's generation, exactly as any
+// other replica-topology change does), the stored bytes are deleted when
+// the node is alive (a dead node's disk is unreachable; the ghost bytes
+// are never served because the directory no longer lists them), and the
+// replica-change hook fires after all locks are released so result-cache
+// entries pinned at the dropped replica are purged. Replica files a
+// previous Save wrote become unreferenced — the manifest rewrite on the
+// next Save is authoritative, and Load reads only manifest-listed
+// replicas.
+func (c *Cluster) DropReplica(b BlockID, node NodeID) error {
+	dn, err := c.DataNode(node)
+	if err != nil {
+		return err
+	}
+	if err := c.nn.unregisterReplica(b, node); err != nil {
+		return err
+	}
+	dn.drop(b)
+	c.nn.notifyChanged(c.nn.hook(), b)
 	return nil
 }
 

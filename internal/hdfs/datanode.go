@@ -93,6 +93,25 @@ func (dn *DataNode) replace(b BlockID, data []byte, sums []uint32) error {
 	return nil
 }
 
+// drop removes a stored replica's data and checksum files. A dead node's
+// disk is unreachable, so drop is a no-op there: the bytes linger as a
+// ghost, but the namenode directory (which the caller updates) no longer
+// lists them, so no reader ever resolves to the replica — and a later
+// store on the revived node surfaces as an ErrReplicaExists collision the
+// caller re-picks around. Reports whether bytes were actually removed.
+func (dn *DataNode) drop(b BlockID) bool {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if !dn.alive {
+		return false
+	}
+	if _, ok := dn.replicas[b]; !ok {
+		return false
+	}
+	delete(dn.replicas, b)
+	return true
+}
+
 // Read returns a verified copy of the replica's bytes. Reads check the
 // stored checksum file, mirroring HDFS's read-path verification.
 func (dn *DataNode) Read(b BlockID) ([]byte, error) {

@@ -2,6 +2,7 @@ package hdfs
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -450,5 +451,102 @@ func TestBlockGenerations(t *testing.T) {
 		if b != id {
 			t.Errorf("change hook fired for block %d, want %d", b, id)
 		}
+	}
+}
+
+// TestDropReplica: dropping a replica unregisters it from the directory,
+// deletes the stored bytes, bumps the block's generation and fires the
+// change hook exactly once — the contract adaptive eviction and the
+// result cache's purge path build on.
+func TestDropReplica(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := c.WriteBlock("/f", randBlock(9_000, 1), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := c.NameNode()
+	victim := nn.GetHosts(id)[1]
+	g0 := nn.Generation(id)
+	var fired []BlockID
+	nn.SetReplicaChangeHook(func(b BlockID) { fired = append(fired, b) })
+
+	if err := c.DropReplica(id, victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range nn.GetHosts(id) {
+		if h == victim {
+			t.Errorf("dropped node %d still listed in Dir_block", victim)
+		}
+	}
+	if _, ok := nn.ReplicaInfo(id, victim); ok {
+		t.Errorf("dropped replica (%d,%d) still in Dir_rep", id, victim)
+	}
+	if n := nn.ReplicaCount(id); n != 2 {
+		t.Errorf("replica count %d after drop, want 2", n)
+	}
+	dn, _ := c.DataNode(victim)
+	if dn.HasReplica(id) {
+		t.Errorf("node %d still stores block %d after drop", victim, id)
+	}
+	if g := nn.Generation(id); g != g0+1 {
+		t.Errorf("generation %d after drop, want %d", g, g0+1)
+	}
+	if len(fired) != 1 || fired[0] != id {
+		t.Errorf("change hook fired %v, want exactly once for block %d", fired, id)
+	}
+
+	// The block stays readable from the surviving replicas.
+	if _, _, err := c.ReadBlockAny(id, victim); err != nil {
+		t.Fatalf("block unreadable after dropping one of three replicas: %v", err)
+	}
+	// Dropping an unregistered replica refuses.
+	if err := c.DropReplica(id, victim); err == nil {
+		t.Error("double drop succeeded, want error")
+	}
+	// The freed node can hold a fresh replica again (no ghost bytes).
+	if err := c.StoreAdditionalReplica(id, victim, randBlock(9_000, 2), ReplicaInfo{SortColumn: 1, HasIndex: true}); err != nil {
+		t.Fatalf("re-store on dropped node: %v", err)
+	}
+}
+
+// TestDropReplicaDeadNode: a dead node's replica can still be dropped from
+// the directory — its disk is unreachable, so the bytes linger as a ghost
+// — and a post-revival store collides with ErrReplicaExists, the benign
+// race the adaptive indexer re-picks around.
+func TestDropReplicaDeadNode(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := c.WriteBlock("/f", randBlock(6_000, 1), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := c.NameNode()
+	victim := nn.GetHosts(id)[0]
+	if err := c.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropReplica(id, victim); err != nil {
+		t.Fatalf("drop on dead node: %v", err)
+	}
+	if _, ok := nn.ReplicaInfo(id, victim); ok {
+		t.Error("dead node's dropped replica still in Dir_rep")
+	}
+	if err := c.ReviveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The ghost bytes survive on the revived node's disk...
+	dn, _ := c.DataNode(victim)
+	if !dn.HasReplica(id) {
+		t.Fatal("expected ghost bytes on the revived node")
+	}
+	// ...so a store collides with the typed sentinel.
+	err = c.StoreAdditionalReplica(id, victim, randBlock(6_000, 2), ReplicaInfo{SortColumn: -1})
+	if !errors.Is(err, ErrReplicaExists) {
+		t.Errorf("store over ghost bytes returned %v, want ErrReplicaExists", err)
 	}
 }

@@ -406,6 +406,48 @@ func (nn *NameNode) updateReplica(b BlockID, node NodeID, info ReplicaInfo, mark
 	return nil
 }
 
+// UnregisterReplica removes (block, node) from Dir_block and Dir_rep — the
+// namenode side of adaptive replica eviction: when the lifecycle manager
+// drops a cold adaptive replica to reclaim budget, the directory must stop
+// routing readers to it. The block's generation is bumped (the replica
+// topology changed exactly as it does on a register or a node loss) and
+// the change hook fires, so cached results pinned at the dropped replica
+// are purged. Refuses to unregister a replica that was never registered.
+func (nn *NameNode) UnregisterReplica(b BlockID, node NodeID) error {
+	if err := nn.unregisterReplica(b, node); err != nil {
+		return err
+	}
+	nn.notifyChanged(nn.hook(), b)
+	return nil
+}
+
+// unregisterReplica performs the removal under the block's shard lock; the
+// caller fires the change hook once it holds no locks. Any pending dirty
+// mark is consumed too — a dropped replica must not make the next Save
+// fail looking for bytes the datanode no longer stores.
+func (nn *NameNode) unregisterReplica(b BlockID, node NodeID) error {
+	s := nn.blockShard(b).lock()
+	defer s.mu.Unlock()
+	key := repKey{b, node}
+	if _, ok := s.reps[key]; !ok {
+		return fmt.Errorf("hdfs: node %d holds no replica of block %d", node, b)
+	}
+	delete(s.reps, key)
+	hosts := s.blocks[b]
+	for i, n := range hosts {
+		if n == node {
+			s.blocks[b] = append(hosts[:i], hosts[i+1:]...)
+			break
+		}
+	}
+	if len(s.blocks[b]) == 0 {
+		delete(s.blocks, b)
+	}
+	delete(s.dirty, key)
+	s.gens[b]++
+	return nil
+}
+
 // ReplicaInfo returns Dir_rep's entry for (block, node).
 func (nn *NameNode) ReplicaInfo(b BlockID, node NodeID) (ReplicaInfo, bool) {
 	s := nn.blockShard(b).rlock()

@@ -63,6 +63,29 @@ func (o *oracleDir) updateReplica(b BlockID, node NodeID, info ReplicaInfo) erro
 	return nil
 }
 
+func (o *oracleDir) unregisterReplica(b BlockID, node NodeID) error {
+	key := repKey{b, node}
+	if _, ok := o.reps[key]; !ok {
+		return fmt.Errorf("oracle: node %d holds no replica of block %d", node, b)
+	}
+	delete(o.reps, key)
+	hosts := o.blocks[b]
+	for i, n := range hosts {
+		if n == node {
+			o.blocks[b] = append(hosts[:i], hosts[i+1:]...)
+			break
+		}
+	}
+	if len(o.blocks[b]) == 0 {
+		delete(o.blocks, b)
+	}
+	o.gens[b]++
+	if o.hook != nil {
+		o.hook(b)
+	}
+	return nil
+}
+
 func (o *oracleDir) invalidateNode(node NodeID) {
 	var changed []BlockID
 	for b, nodes := range o.blocks {
@@ -130,7 +153,7 @@ func TestOracleEquivalence(t *testing.T) {
 			for op := 0; op < oracleOpsPerSequence; op++ {
 				b := BlockID(rng.Int63n(int64(maxBlocks)))
 				node := NodeID(rng.Intn(nodes))
-				switch k := rng.Intn(10); {
+				switch k := rng.Intn(12); {
 				case k < 2: // AddBlock
 					f := files[rng.Intn(len(files))]
 					nn.AddBlock(f, b)
@@ -147,10 +170,17 @@ func TestOracleEquivalence(t *testing.T) {
 						t.Fatalf("op %d: UpdateReplica(%d,%d) error mismatch: sharded %v, oracle %v",
 							op, b, node, gotErr, wantErr)
 					}
-				case k < 8: // InvalidateNode directly
+				case k < 9: // UnregisterReplica (may refuse)
+					gotErr := nn.UnregisterReplica(b, node)
+					wantErr := oracle.unregisterReplica(b, node)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("op %d: UnregisterReplica(%d,%d) error mismatch: sharded %v, oracle %v",
+							op, b, node, gotErr, wantErr)
+					}
+				case k < 10: // InvalidateNode directly
 					nn.InvalidateNode(node)
 					oracle.invalidateNode(node)
-				case k < 9: // KillNode through the cluster
+				case k < 11: // KillNode through the cluster
 					if err := cluster.KillNode(node); err != nil {
 						t.Fatalf("op %d: KillNode(%d): %v", op, node, err)
 					}

@@ -496,6 +496,22 @@ func (c *Cache) CachedReplica(file string, b hdfs.BlockID, gen uint64, query, ma
 	return best, found
 }
 
+// BlockEntries reports the resident entries touching block b: block-level
+// entries in b's shard and packed-split entries any of whose member
+// blocks is b. The eviction and replica-drop property tests use it to
+// assert that no entry — at either granularity — survives for a block
+// whose replica topology changed.
+func (c *Cache) BlockEntries(b hdfs.BlockID) (blockEntries, splitEntries int) {
+	s := c.shard(b)
+	s.mu.Lock()
+	blockEntries = len(s.byBlock[b])
+	s.mu.Unlock()
+	c.splitMu.Lock()
+	splitEntries = len(c.splitByBlock[b])
+	c.splitMu.Unlock()
+	return blockEntries, splitEntries
+}
+
 // Stats returns a snapshot of the cache counters and occupancy.
 func (c *Cache) Stats() Stats {
 	st := Stats{

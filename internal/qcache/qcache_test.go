@@ -260,3 +260,33 @@ func TestTinyBudgetFloor(t *testing.T) {
 		t.Errorf("rejected %d small entries: %+v", st.Rejected, st)
 	}
 }
+
+// TestBlockEntriesAndInvalidation: BlockEntries must see both
+// granularities an entry can live at, and InvalidateBlock — the
+// replica-drop purge path — must clear both.
+func TestBlockEntriesAndInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(key(1, 1), kvs(3, "a"), mapred.TaskStats{})
+	c.Put(key(1, 2), kvs(3, "b"), mapred.TaskStats{}) // second generation, same block
+	sk := mapred.SplitCacheKey{File: "/f", BlockSig: "1:2,2:1", Query: "q", MapSig: "m", Replica: 0}
+	c.PutSplit(sk, []hdfs.BlockID{1, 2}, kvs(4, "s"), mapred.TaskStats{})
+
+	if be, se := c.BlockEntries(1); be != 2 || se != 1 {
+		t.Fatalf("BlockEntries(1) = (%d,%d), want (2,1)", be, se)
+	}
+	if be, se := c.BlockEntries(2); be != 0 || se != 1 {
+		t.Fatalf("BlockEntries(2) = (%d,%d), want (0,1)", be, se)
+	}
+	c.InvalidateBlock(1)
+	if be, se := c.BlockEntries(1); be != 0 || se != 0 {
+		t.Errorf("BlockEntries(1) = (%d,%d) after invalidation, want (0,0)", be, se)
+	}
+	// The split entry was a member of block 2 as well: invalidating
+	// block 1 must have purged it everywhere.
+	if be, se := c.BlockEntries(2); be != 0 || se != 0 {
+		t.Errorf("BlockEntries(2) = (%d,%d) after member invalidation, want (0,0)", be, se)
+	}
+	if st := c.Stats(); st.Invalidations != 3 {
+		t.Errorf("Invalidations = %d, want 3 (two block entries + one split entry)", st.Invalidations)
+	}
+}
