@@ -9,6 +9,7 @@
 //	hailbench [-quick] -cache [-pack-scans] [-cache-budget N] [-offer-rate 0.25] [-jobs 6] [-workload UserVisits]
 //	hailbench [-quick] -dispatch [-cache-budget N] [-workload UserVisits]
 //	hailbench [-quick] -lifecycle [-offer-rate 0.5] [-jobs 6] [-workload UserVisits] [-adaptive-budget N]
+//	hailbench [-quick] -vector [-workload UserVisits]
 //
 // With no flags it runs every paper experiment at full fidelity (~64
 // partitions per block), printing each figure as an aligned table of
@@ -47,6 +48,13 @@
 // budget — the trajectory that was BudgetDenied forever before the
 // lifecycle manager.
 //
+// -vector runs the vectorized-scan A/B: each benchmark query executes
+// through the legacy row-at-a-time record reader and the batch pipeline
+// (selection vectors + late materialization), gated byte-identical, and
+// reports measured records/s, MB/s and the batch path's speedup — the one
+// experiment whose numbers are wall-clock throughput rather than
+// cost-model seconds.
+//
 // -json writes the run's report as JSON to the given path — CI uploads
 // these as BENCH_*.json artifacts to accumulate the perf trajectory
 // across commits.
@@ -77,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cacheMode := fs.Bool("cache", false, "run the result-cache trajectory experiment")
 	dispatchMode := fs.Bool("dispatch", false, "run the scan-split packing (dispatch) experiment")
 	lifecycleMode := fs.Bool("lifecycle", false, "run the adaptive replica lifecycle (workload shift + eviction) experiment")
+	vectorMode := fs.Bool("vector", false, "run the vectorized-scan A/B (row path vs batch pipeline, measured throughput)")
 	packScans := fs.Bool("pack-scans", false, "with -cache: run the trajectory under packed scan splits")
 	adaptiveEvict := fs.Bool("adaptive-evict", false, "with -adaptive: evict the coldest adaptive replicas when a build would exceed -adaptive-budget")
 	offerRate := fs.Float64("offer-rate", 0.25, "adaptive/cache/lifecycle: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
@@ -103,13 +112,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// The trajectory experiments and the paper-figure list are separate
 	// modes; reject combinations that would silently ignore a flag.
 	modes := 0
-	for _, on := range []bool{*adaptiveMode, *cacheMode, *dispatchMode, *lifecycleMode} {
+	for _, on := range []bool{*adaptiveMode, *cacheMode, *dispatchMode, *lifecycleMode, *vectorMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("%w: -adaptive, -cache, -dispatch and -lifecycle are mutually exclusive", errUsage)
+		return fmt.Errorf("%w: -adaptive, -cache, -dispatch, -lifecycle and -vector are mutually exclusive", errUsage)
 	}
 	if modes > 0 && *only != "" {
 		return fmt.Errorf("%w: -only does not combine with the trajectory experiments", errUsage)
@@ -139,6 +148,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// converts blocks; reject flags it would silently ignore.
 		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
 			return fmt.Errorf("%w: %s does not combine with -dispatch", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if *vectorMode {
+		// The vector A/B fixes its own query set and repeat count.
+		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s does not combine with -vector", errUsage, strings.Join(stray, ", "))
 		}
 	}
 
@@ -183,6 +198,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintln(stdout, rep)
 			fmt.Fprintf(stdout, "(FigLifecycle computed in %.1fs real time)\n", time.Since(start).Seconds())
+			return writeJSON(rep)
+		case *vectorMode:
+			repeats := 3
+			if *quick {
+				repeats = 2
+			}
+			rep, err := r.ExpVector(w, repeats)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprintf(stdout, "(FigVector computed in %.1fs real time)\n", time.Since(start).Seconds())
 			return writeJSON(rep)
 		case *cacheMode:
 			rep, err := r.ExpCache(w, *jobs, *cacheBudget, adaptive.RateFromFlag(*offerRate), *packScans)

@@ -18,6 +18,18 @@
 // lookup in memory, contiguous column-range reads, post-filtering — and
 // falls back to a PAX column scan otherwise, applying the selection and
 // projection from the job's HailQuery annotation either way.
+//
+// Execution inside the record reader is vectorized and streaming: the
+// candidate row range (whole block, or the index-narrowed slice of it)
+// flows through in fixed-size batches. Filter columns are decoded from
+// PAX bytes into typed vectors, the conjunction runs as selection-vector
+// kernels (query.MatchesBatch), and projection columns are materialized
+// late — only for the rows that survived, at row granularity via
+// pax.ColumnCursor.NextSelected. Batches reach batch-aware map functions
+// (mapred.Job.MapBatch) directly and ordinary map functions through a
+// row-compat shim (mapred.Batch.Each), with output, I/O accounting and
+// cache keys byte-identical to the legacy row path (InputFormat.RowPath),
+// which is kept so the speedup stays measured (experiments.ExpVector).
 package core
 
 import (

@@ -61,6 +61,12 @@ type InputFormat struct {
 	// packing is that their work is already done (qcache.CachedReplica is
 	// the canonical implementation).
 	CachedReplica func(b hdfs.BlockID) (hdfs.NodeID, bool)
+	// RowPath selects the legacy row-at-a-time record reader instead of
+	// the vectorized batch pipeline. The two produce byte-identical
+	// output and I/O accounting; the knob exists so the batch path's
+	// speedup stays measured (experiments.ExpVector, hailquery
+	// -row-path), not asserted.
+	RowPath bool
 
 	// nnOps counts the namenode directory lookups of the most recent
 	// Splits call; SplitPhaseStats reports it. Accessed atomically (plain
@@ -411,6 +417,7 @@ func (f *InputFormat) Open(split mapred.Split, node hdfs.NodeID) (mapred.RecordR
 		query:   f.Query,
 		split:   split,
 		node:    node,
+		rowPath: f.RowPath,
 	}, nil
 }
 

@@ -12,23 +12,64 @@ import (
 	"repro/internal/schema"
 )
 
+// batchRows is the vectorized pipeline's batch size. It matches the PAX
+// partition granularity, so one batch never straddles more variable-size
+// partitions than the rows it carries.
+const batchRows = pax.PartitionSize
+
 // recordReader is the HailRecordReader (§4.3): per block it performs an
 // index scan when the block's replica carries a clustered index matching a
 // filter predicate, and a PAX column scan otherwise. Either way it applies
 // the full conjunction, reconstructs the projected attributes of
-// qualifying tuples from PAX to row layout, and passes bad records through
-// flagged.
+// qualifying tuples, and passes bad records through flagged.
+//
+// The default execution is vectorized and streaming: the candidate row
+// range flows through the reader in fixed-size batches (batchRows rows).
+// Per batch, the filter columns are decoded from PAX bytes into typed
+// vectors, the conjunction runs as selection-vector kernels
+// (query.MatchesBatch), and the remaining projection columns are decoded
+// only when the batch has surviving rows — late materialization. Column
+// bytes are read (and I/O-accounted) once per block at cursor creation,
+// in ascending column order, so the batch pipeline's BytesRead/Seeks/
+// PartitionsScanned are byte-identical to the legacy row path's; only
+// decoding and filtering are restructured. rowPath selects the legacy
+// row-at-a-time path, kept for A/B measurement (experiments.ExpVector).
 type recordReader struct {
 	cluster *hdfs.Cluster
 	query   *query.Query
 	split   mapred.Split
 	node    hdfs.NodeID
+	rowPath bool
+
+	batch mapred.Batch    // reused across blocks; fn must not retain it
+	sel   query.Selection // reused selection vector
+	ident query.Selection // reused identity selection for compacted batches
 }
 
+// Read implements mapred.RecordReader. The default path streams batches
+// and materializes records through Batch.Each's scratch row, so ordinary
+// map functions get the kernel speedup without change; rowPath runs the
+// legacy scalar scan.
 func (r *recordReader) Read(fn func(mapred.Record)) (mapred.TaskStats, error) {
+	if r.rowPath {
+		var stats mapred.TaskStats
+		for _, b := range r.split.Blocks {
+			if err := r.readBlockRows(b, fn, &stats); err != nil {
+				return stats, err
+			}
+		}
+		return stats, nil
+	}
+	return r.ReadBatches(func(b *mapred.Batch) { b.Each(fn) })
+}
+
+// ReadBatches implements mapred.BatchReader: the split's blocks as a lazy
+// batch stream. The batch passed to fn is reused; it is valid only for
+// the duration of the call.
+func (r *recordReader) ReadBatches(fn func(*mapred.Batch)) (mapred.TaskStats, error) {
 	var stats mapred.TaskStats
 	for _, b := range r.split.Blocks {
-		if err := r.readBlock(b, fn, &stats); err != nil {
+		if err := r.readBlockBatches(b, fn, &stats); err != nil {
 			return stats, err
 		}
 	}
@@ -52,10 +93,25 @@ func (r *recordReader) openReplica(b hdfs.BlockID) ([]byte, hdfs.NodeID, error) 
 	return data, servedBy, err
 }
 
-func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *mapred.TaskStats) error {
+// blockScan is the per-block prologue shared by both execution paths: the
+// parsed PAX reader and the index-resolved candidate row range.
+type blockScan struct {
+	reader         *pax.Reader
+	q              *query.Query
+	proj           []int
+	fromRow, toRow int
+}
+
+// openBlockScan opens block b's preferred replica, parses it, and picks
+// the access path: an index scan narrows the candidate range via the
+// replica's clustered index when one matches a filter predicate; a full
+// scan keeps the whole block. All access-path stats (Blocks, RemoteReads,
+// IndexScans/FullScans, IndexBytesRead, PartitionsScanned) are accounted
+// here, identically for the row and batch pipelines.
+func (r *recordReader) openBlockScan(b hdfs.BlockID, stats *mapred.TaskStats) (*blockScan, error) {
 	data, servedBy, err := r.openReplica(b)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if servedBy != r.node {
 		stats.RemoteReads++
@@ -64,22 +120,23 @@ func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *
 
 	paxData, ixData, err := ParseFrame(data)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	reader, err := pax.NewReader(paxData)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	sch := reader.Schema()
 	q := r.query
 	if q == nil {
 		q = &query.Query{}
 	}
-	proj := q.ProjectionOrAll(sch)
+	bs := &blockScan{
+		reader: reader,
+		q:      q,
+		proj:   q.ProjectionOrAll(reader.Schema()),
+		toRow:  reader.NumRows(),
+	}
 
-	// Choose the access path: an index scan needs a predicate on the
-	// replica's clustering attribute and the index bytes beside the block.
-	fromRow, toRow := 0, reader.NumRows()
 	indexed := false
 	if ixData != nil {
 		for _, p := range q.Filter {
@@ -88,7 +145,7 @@ func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *
 			}
 			ix, err := index.Unmarshal(ixData)
 			if err != nil {
-				return fmt.Errorf("hail: block %d index: %v", b, err)
+				return nil, fmt.Errorf("hail: block %d index: %v", b, err)
 			}
 			// Reading the index costs its bytes plus one seek (§4.3:
 			// "we read the index entirely into main memory").
@@ -97,9 +154,9 @@ func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *
 			f, t, ok := ix.PartitionRange(p.Lo, p.Hi)
 			indexed = true
 			if !ok {
-				fromRow, toRow = 0, 0
+				bs.fromRow, bs.toRow = 0, 0
 			} else {
-				fromRow, toRow = f, t
+				bs.fromRow, bs.toRow = f, t
 			}
 			break
 		}
@@ -109,18 +166,179 @@ func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *
 	} else {
 		stats.FullScans++
 	}
+	if bs.toRow > bs.fromRow {
+		stats.PartitionsScanned += int64((bs.toRow - bs.fromRow + pax.PartitionSize - 1) / pax.PartitionSize)
+	}
+	return bs, nil
+}
 
-	if toRow > fromRow {
-		stats.PartitionsScanned += int64((toRow - fromRow + pax.PartitionSize - 1) / pax.PartitionSize)
-		if err := r.emitRange(reader, q, proj, fromRow, toRow, fn, stats); err != nil {
+// neededColumns returns the distinct columns the scan must touch
+// (filter ∪ projection) in ascending order — the read order both paths
+// use so the seek count never depends on map iteration order — plus the
+// distinct filter columns, also ascending.
+func neededColumns(q *query.Query, proj []int) (cols, filterCols []int) {
+	need := make(map[int]bool)
+	for _, p := range q.Filter {
+		if !need[p.Column] {
+			need[p.Column] = true
+			filterCols = append(filterCols, p.Column)
+		}
+	}
+	sort.Ints(filterCols)
+	for _, c := range proj {
+		need[c] = true
+	}
+	cols = make([]int, 0, len(need))
+	for c := range need {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols, filterCols
+}
+
+// readBlockBatches is the vectorized per-block execution: stream the
+// candidate range as batches, then the bad records as one final batch.
+func (r *recordReader) readBlockBatches(b hdfs.BlockID, fn func(*mapred.Batch), stats *mapred.TaskStats) error {
+	bs, err := r.openBlockScan(b, stats)
+	if err != nil {
+		return err
+	}
+	if bs.toRow > bs.fromRow {
+		if err := r.streamRange(bs, fn, stats); err != nil {
 			return err
 		}
 	}
-
 	// Bad records are handed to the map function flagged, whatever the
 	// access path (§4.3).
-	if reader.NumBad() > 0 {
-		bad, err := reader.ReadAllBad()
+	if bs.reader.NumBad() > 0 {
+		bad, err := bs.reader.ReadAllBad()
+		if err != nil {
+			return err
+		}
+		stats.RecordsDelivered += int64(len(bad))
+		stats.BatchesEmitted++
+		r.batch.Cols, r.batch.Sel, r.batch.Bad = nil, nil, bad
+		fn(&r.batch)
+	}
+	stats.AddIO(bs.reader.Stats())
+	return nil
+}
+
+// streamRange drives the candidate row range through the batch pipeline.
+// Cursors for every needed column are opened up front in ascending column
+// order — that is where all raw reads happen, reproducing the row path's
+// I/O accounting exactly — then each batch decodes the filter columns and
+// runs the selection-vector kernels. Projection columns are materialized
+// at row granularity: when the filters discard part of a batch, the
+// projection-only cursors decode (and, for strings, allocate) values for
+// the surviving rows alone, and the already-decoded filter columns are
+// compacted in place, so every emitted batch is dense. A selective scan
+// therefore pays projection decoding proportional to its selectivity,
+// not its scan range — the late-materialization payoff ExpVector
+// measures.
+func (r *recordReader) streamRange(bs *blockScan, fn func(*mapred.Batch), stats *mapred.TaskStats) error {
+	cols, filterCols := neededColumns(bs.q, bs.proj)
+	sch := bs.reader.Schema()
+	cursors := make(map[int]*pax.ColumnCursor, len(cols))
+	vecs := make(map[int]*schema.Vector, len(cols))
+	for _, col := range cols {
+		cur, err := bs.reader.NewColumnCursor(col, bs.fromRow, bs.toRow)
+		if err != nil {
+			return err
+		}
+		cursors[col] = cur
+		vecs[col] = schema.NewVector(sch.Field(col).Type)
+	}
+	isFilter := make(map[int]bool, len(filterCols))
+	for _, c := range filterCols {
+		isFilter[c] = true
+	}
+	projVecs := make([]*schema.Vector, len(bs.proj))
+	for j, c := range bs.proj {
+		projVecs[j] = vecs[c]
+	}
+
+	for remaining := bs.toRow - bs.fromRow; remaining > 0; {
+		n := batchRows
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		for _, col := range filterCols {
+			if _, err := cursors[col].Next(n, vecs[col]); err != nil {
+				return err
+			}
+		}
+		r.sel = bs.q.MatchesBatch(func(c int) *schema.Vector { return vecs[c] }, query.MakeSelection(r.sel, n))
+		stats.RecordsScanned += int64(n)
+		stats.RowsScanned += int64(n)
+		stats.RowsSelected += int64(len(r.sel))
+		partial := len(r.sel) > 0 && len(r.sel) < n
+		for _, col := range cols {
+			if isFilter[col] {
+				continue
+			}
+			var err error
+			switch {
+			case len(r.sel) == 0:
+				_, err = cursors[col].Next(n, nil) // skip the bytes, decode nothing
+			case partial:
+				_, err = cursors[col].NextSelected(n, r.sel, vecs[col])
+			default:
+				_, err = cursors[col].Next(n, vecs[col])
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if len(r.sel) == 0 {
+			continue
+		}
+		sel := r.sel
+		if partial {
+			for _, col := range filterCols {
+				if isProjected(bs.proj, col) {
+					vecs[col].Gather(r.sel)
+				}
+			}
+			r.ident = query.MakeSelection(r.ident, len(r.sel))
+			sel = r.ident
+		}
+		stats.RecordsDelivered += int64(len(sel))
+		stats.AttrsDelivered += int64(len(sel) * len(bs.proj))
+		stats.BatchesEmitted++
+		r.batch.Cols, r.batch.Sel, r.batch.Bad = projVecs, sel, nil
+		fn(&r.batch)
+	}
+	return nil
+}
+
+// isProjected reports whether col appears in the (short, ascending)
+// projection list.
+func isProjected(proj []int, col int) bool {
+	for _, c := range proj {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// readBlockRows is the legacy row-at-a-time per-block execution, kept
+// behind InputFormat.RowPath so the vectorized pipeline's speedup is
+// measured against it rather than asserted.
+func (r *recordReader) readBlockRows(b hdfs.BlockID, fn func(mapred.Record), stats *mapred.TaskStats) error {
+	bs, err := r.openBlockScan(b, stats)
+	if err != nil {
+		return err
+	}
+	if bs.toRow > bs.fromRow {
+		if err := r.emitRange(bs, fn, stats); err != nil {
+			return err
+		}
+	}
+	if bs.reader.NumBad() > 0 {
+		bad, err := bs.reader.ReadAllBad()
 		if err != nil {
 			return err
 		}
@@ -129,43 +347,30 @@ func (r *recordReader) readBlock(b hdfs.BlockID, fn func(mapred.Record), stats *
 			fn(mapred.Record{Raw: line, Bad: true})
 		}
 	}
-	stats.AddIO(reader.Stats())
+	stats.AddIO(bs.reader.Stats())
 	return nil
 }
 
 // emitRange reads the filter and projection columns over the candidate row
-// range, post-filters, and emits projected rows. Only the needed columns
-// are touched — the PAX advantage — and each is read as one contiguous
-// range.
-func (r *recordReader) emitRange(reader *pax.Reader, q *query.Query, proj []int,
-	fromRow, toRow int, fn func(mapred.Record), stats *mapred.TaskStats) error {
-
-	// Collect the distinct columns we must materialize and read them in
-	// ascending column order: the reader counts a seek whenever a read is
-	// not adjacent to the previous one, so iterating the map directly
-	// would make the job's seek count depend on Go's map iteration order.
-	needed := make(map[int][]schema.Value)
-	for _, p := range q.Filter {
-		needed[p.Column] = nil
-	}
-	for _, c := range proj {
-		needed[c] = nil
-	}
-	cols := make([]int, 0, len(needed))
-	for col := range needed {
-		cols = append(cols, col)
-	}
-	sort.Ints(cols)
+// range, post-filters row by row, and emits projected rows. Only the
+// needed columns are touched — the PAX advantage — and each is read as one
+// contiguous range. The projected row handed to fn is a scratch buffer
+// reused across records (the same object-reuse contract as Batch.Each).
+func (r *recordReader) emitRange(bs *blockScan, fn func(mapred.Record), stats *mapred.TaskStats) error {
+	q, proj := bs.q, bs.proj
+	cols, _ := neededColumns(q, proj)
+	needed := make(map[int][]schema.Value, len(cols))
 	for _, col := range cols {
-		vals, err := reader.ReadColumnRange(col, fromRow, toRow)
+		vals, err := bs.reader.ReadColumnRange(col, bs.fromRow, bs.toRow)
 		if err != nil {
 			return err
 		}
 		needed[col] = vals
 	}
 
-	n := toRow - fromRow
+	n := bs.toRow - bs.fromRow
 	stats.RecordsScanned += int64(n)
+	row := make(schema.Row, len(proj))
 rows:
 	for i := 0; i < n; i++ {
 		for _, p := range q.Filter {
@@ -173,7 +378,6 @@ rows:
 				continue rows
 			}
 		}
-		row := make(schema.Row, len(proj))
 		for j, c := range proj {
 			row[j] = needed[c][i]
 		}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpVectorEquivalence runs the vectorized-vs-row A/B on the quick
+// fixture. The experiment itself is the gate — it errors out if the two
+// paths' outputs, stats, or signatures diverge on any query — so the
+// test mostly asserts the report's shape. Throughput ratios are asserted
+// in BenchmarkFigVector, not here: a loaded CI machine can make a
+// wall-clock ratio flaky, while divergence is deterministic.
+func TestExpVectorEquivalence(t *testing.T) {
+	skipIfShort(t)
+	r := quickRunner()
+	rep, err := r.ExpVector(UserVisits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != 3 {
+		t.Fatalf("got %d queries, want 3", len(rep.Queries))
+	}
+	for _, q := range rep.Queries {
+		if q.Rows == 0 {
+			t.Errorf("%s: no rows scanned", q.Name)
+		}
+		if q.RowSeconds <= 0 || q.BatchSeconds <= 0 || q.Speedup <= 0 {
+			t.Errorf("%s: timing not populated: %+v", q.Name, q)
+		}
+		if q.Batches == 0 && q.OutRows > 0 {
+			t.Errorf("%s: %d output rows but no batches recorded", q.Name, q.OutRows)
+		}
+	}
+	if rep.Queries[2].Name != "wide-scan" || rep.Queries[2].OutRows == 0 {
+		t.Errorf("full-scan query emitted nothing: %+v", rep.Queries[2])
+	}
+	if rep.MinSpeedup <= 0 {
+		t.Errorf("MinSpeedup not populated: %v", rep.MinSpeedup)
+	}
+	out := rep.String()
+	for _, want := range []string{"FigVector", "scan-sel", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -203,6 +203,21 @@ type blockOut struct {
 	stats TaskStats
 }
 
+// readRecords drives a record reader through the job's map function,
+// taking the batch fast path when both sides support it: a MapBatch job
+// whose reader streams batches never materializes individual records.
+// All other combinations fall back to the record form (for batch-capable
+// readers that is still the vectorized pipeline, surfaced through
+// Batch.Each).
+func readRecords(job *Job, rr RecordReader, emit Emit) (TaskStats, error) {
+	if job.MapBatch != nil {
+		if br, ok := rr.(BatchReader); ok {
+			return br.ReadBatches(func(b *Batch) { job.MapBatch(b, emit) })
+		}
+	}
+	return rr.Read(func(r Record) { job.Map(r, emit) })
+}
+
 // runBlock executes one block of a split on runOn. With a cache context
 // the block goes through the result cache (a hit replays the stored map
 // output without touching storage, a miss computes and admits it);
@@ -225,7 +240,7 @@ func runBlock(job *Job, cc *cacheContext, opener BlockOpener, split Split, b hdf
 	}
 	var bkvs []KV
 	emit := func(k, v string) { bkvs = append(bkvs, KV{k, v}) }
-	bstats, err := rr.Read(func(r Record) { job.Map(r, emit) })
+	bstats, err := readRecords(job, rr, emit)
 	if err != nil {
 		return blockOut{}, err
 	}
@@ -414,7 +429,7 @@ func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, no
 			rr, err = job.Input.Open(split, runOn)
 			if err == nil {
 				emit := func(k, v string) { kvs = append(kvs, KV{k, v}) }
-				stats, err = rr.Read(func(r Record) { job.Map(r, emit) })
+				stats, err = readRecords(job, rr, emit)
 			}
 		}
 		if err != nil {

@@ -11,6 +11,15 @@
 // are measured, not estimated. Wall-clock time is *not* modelled here —
 // the sim package turns the measured statistics into simulated cluster
 // time.
+//
+// Record readers may stream either records (RecordReader) or columnar
+// batches (BatchReader): a Batch carries the projected attributes as
+// typed vectors plus a selection vector of qualifying rows, and
+// Batch.Each is the row-compat shim that materializes it for ordinary
+// map functions through a reused scratch row. Jobs can opt into the
+// batch form with Job.MapBatch; either way the emitted output — and thus
+// every qcache entry keyed by (block, generation, query signature,
+// MapSig, replica) — is byte-identical.
 package mapred
 
 import (
@@ -27,6 +36,11 @@ type Record struct {
 	// reads it contains exactly the projected attributes, in projection
 	// order (the map function "does not have to split the record into
 	// attributes", §4.1). For full-row readers it is the whole tuple.
+	//
+	// Readers may reuse the underlying buffer between records (Hadoop's
+	// object reuse contract, and how Batch.Each materializes batches):
+	// Row is valid only for the duration of the map call and must be
+	// copied to be retained.
 	Row schema.Row
 	// Raw is the unparsed text line, set by text-mode readers and for bad
 	// records.
@@ -82,6 +96,13 @@ type TaskStats struct {
 	// (§6.4.1), but the adaptive path does per-block directory lookups,
 	// and those must be measured rather than hidden behind a zero struct.
 	NameNodeOps int
+	// RowsScanned, RowsSelected and BatchesEmitted are the vectorized
+	// pipeline's counters: rows pushed through the selection-vector
+	// kernels, rows surviving the full conjunction, and non-empty batches
+	// handed to the map layer. The legacy row path leaves them zero.
+	RowsScanned    int64
+	RowsSelected   int64
+	BatchesEmitted int64
 }
 
 // Add accumulates other into s.
@@ -101,6 +122,9 @@ func (s *TaskStats) Add(other TaskStats) {
 	s.OutputBytes += other.OutputBytes
 	s.BlocksFromCache += other.BlocksFromCache
 	s.NameNodeOps += other.NameNodeOps
+	s.RowsScanned += other.RowsScanned
+	s.RowsSelected += other.RowsSelected
+	s.BatchesEmitted += other.BatchesEmitted
 }
 
 // AddIO folds a PAX reader's I/O statistics into the task stats.
@@ -296,6 +320,14 @@ type Job struct {
 	File  string
 	Input InputFormat
 	Map   MapFunc
+	// MapBatch, if set, is the batch-at-a-time form of Map. When the
+	// split's record reader implements BatchReader, the engine feeds it
+	// whole batches and skips per-record materialization entirely; Map
+	// remains required as the fallback for readers that only stream
+	// records. MapBatch must emit exactly what Map would over
+	// Batch.Each's record stream — cached results do not record which
+	// form computed them.
+	MapBatch MapBatchFunc
 	// Combine, if set, is applied to each map task's output per key
 	// before the shuffle (Hadoop's combiner), shrinking the intermediate
 	// data. It must be semantically idempotent with Reduce.

@@ -1,0 +1,216 @@
+package pax
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/schema"
+)
+
+// ColumnCursor decodes one column's candidate row range batch by batch —
+// the access path of the vectorized scan pipeline. The raw column bytes
+// are read (and accounted) once, at cursor creation, with exactly the
+// same read sequence ReadColumnRange performs: one contiguous range per
+// fixed-size column, the sparse offset list plus one partition-bounded
+// value range for variable-size columns. A serialized block therefore
+// costs the same bytes and seeks whether it is scanned row at a time or
+// streamed in batches; what the cursor changes is decoding, which happens
+// lazily, PartitionSize rows at a time, into a reused typed Vector
+// instead of boxing the whole range into []schema.Value up front.
+type ColumnCursor struct {
+	typ schema.Type
+	raw []byte // the column's value bytes for the (partition-aligned) range
+
+	// Fixed-size columns: raw holds exactly the requested rows.
+	width int
+	pos   int // next undecoded row, as an index into raw/width
+
+	// Variable-size columns: raw starts at a partition boundary at or
+	// before fromRow; bpos is the next undecoded byte.
+	bpos int
+
+	remaining int // rows left to deliver
+}
+
+// NewColumnCursor opens a cursor over attribute col for rows [fromRow,
+// toRow). All raw reads (and their IOStats) happen here, in the same
+// order ReadColumnRange would issue them, so creating cursors for several
+// columns in ascending column order reproduces the row path's seek count
+// exactly.
+func (r *Reader) NewColumnCursor(col, fromRow, toRow int) (*ColumnCursor, error) {
+	if col < 0 || col >= r.sch.NumFields() {
+		return nil, fmt.Errorf("pax: column %d out of range", col)
+	}
+	if fromRow < 0 || toRow > r.numRows || fromRow > toRow {
+		return nil, fmt.Errorf("pax: row range [%d,%d) out of bounds (rows=%d)", fromRow, toRow, r.numRows)
+	}
+	t := r.sch.Field(col).Type
+	c := &ColumnCursor{typ: t, remaining: toRow - fromRow}
+	if fromRow == toRow {
+		return c, nil
+	}
+	if t.FixedSize() {
+		c.width = t.Width()
+		raw, err := r.raw(r.colOff[col]+fromRow*c.width, (toRow-fromRow)*c.width)
+		if err != nil {
+			return nil, err
+		}
+		c.raw = raw
+		return c, nil
+	}
+
+	// Variable-size: replicate readStringRange's reads, then skip the
+	// partition-alignment prefix so Next starts delivering at fromRow.
+	nParts := numPartitions(r.numRows)
+	valBase := r.colOff[col] + nParts*4
+	valLen := r.colLen[col] - nParts*4
+	pFrom := fromRow / PartitionSize
+	pTo := (toRow - 1) / PartitionSize
+	offRaw, err := r.raw(r.colOff[col]+pFrom*4, (pTo-pFrom+1)*4)
+	if err != nil {
+		return nil, err
+	}
+	startOff := int(binary.LittleEndian.Uint32(offRaw[0:]))
+	endOff := valLen
+	if (pTo+1)*PartitionSize < r.numRows {
+		tail, err := r.raw(r.colOff[col]+(pTo+1)*4, 4)
+		if err != nil {
+			return nil, err
+		}
+		endOff = int(binary.LittleEndian.Uint32(tail))
+	}
+	raw, err := r.raw(valBase+startOff, endOff-startOff)
+	if err != nil {
+		return nil, err
+	}
+	c.raw = raw
+	for row := pFrom * PartitionSize; row < fromRow; row++ {
+		z := indexByteFrom(c.raw, c.bpos, 0)
+		if z < 0 {
+			return nil, fmt.Errorf("pax: unterminated string value in column %d", col)
+		}
+		c.bpos = z + 1
+	}
+	return c, nil
+}
+
+// Remaining returns the rows the cursor has yet to deliver.
+func (c *ColumnCursor) Remaining() int { return c.remaining }
+
+// Next decodes up to n rows into dst (which is Reset first and must have
+// the cursor's type) and returns the count delivered — less than n only
+// at the end of the range. A nil dst skips the rows instead of decoding
+// them: fixed-size columns jump, variable-size columns walk terminators.
+// The batch pipeline uses the skip form for projection-only columns of
+// batches in which no row survived the filters — late materialization at
+// batch granularity.
+func (c *ColumnCursor) Next(n int, dst *schema.Vector) (int, error) {
+	if n > c.remaining {
+		n = c.remaining
+	}
+	if dst != nil {
+		dst.Reset()
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	if c.typ.FixedSize() {
+		c.nextFixed(n, dst)
+		c.remaining -= n
+		return n, nil
+	}
+	if err := c.nextString(n, dst); err != nil {
+		return 0, err
+	}
+	c.remaining -= n
+	return n, nil
+}
+
+// NextSelected advances the cursor n rows like Next, but decodes only the
+// rows whose batch-relative indices appear in sel (ascending, each in
+// [0,n)), appending len(sel) values to dst — late materialization at row
+// granularity: a selective filter pays decoding (and, for strings, the
+// per-value allocation) only for surviving rows, while the cursor still
+// walks past the rest. dst is Reset first and receives values in sel
+// order. Returns the rows advanced, like Next.
+func (c *ColumnCursor) NextSelected(n int, sel []int32, dst *schema.Vector) (int, error) {
+	if n > c.remaining {
+		n = c.remaining
+	}
+	dst.Reset()
+	if n <= 0 {
+		return 0, nil
+	}
+	if c.typ.FixedSize() {
+		raw := c.raw[c.pos*c.width:]
+		switch c.typ {
+		case schema.Int32, schema.Date:
+			for _, s := range sel {
+				dst.I32 = append(dst.I32, int32(binary.LittleEndian.Uint32(raw[int(s)*4:])))
+			}
+		case schema.Int64:
+			for _, s := range sel {
+				dst.I64 = append(dst.I64, int64(binary.LittleEndian.Uint64(raw[int(s)*8:])))
+			}
+		case schema.Float64:
+			for _, s := range sel {
+				dst.F64 = append(dst.F64, math.Float64frombits(binary.LittleEndian.Uint64(raw[int(s)*8:])))
+			}
+		}
+		c.pos += n
+		c.remaining -= n
+		return n, nil
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		z := indexByteFrom(c.raw, c.bpos, 0)
+		if z < 0 {
+			return 0, fmt.Errorf("pax: unterminated string value")
+		}
+		if k < len(sel) && int(sel[k]) == i {
+			dst.Str = append(dst.Str, string(c.raw[c.bpos:z]))
+			k++
+		}
+		c.bpos = z + 1
+	}
+	c.remaining -= n
+	return n, nil
+}
+
+func (c *ColumnCursor) nextFixed(n int, dst *schema.Vector) {
+	if dst == nil {
+		c.pos += n
+		return
+	}
+	raw := c.raw[c.pos*c.width:]
+	switch c.typ {
+	case schema.Int32, schema.Date:
+		for i := 0; i < n; i++ {
+			dst.I32 = append(dst.I32, int32(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	case schema.Int64:
+		for i := 0; i < n; i++ {
+			dst.I64 = append(dst.I64, int64(binary.LittleEndian.Uint64(raw[i*8:])))
+		}
+	case schema.Float64:
+		for i := 0; i < n; i++ {
+			dst.F64 = append(dst.F64, math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:])))
+		}
+	}
+	c.pos += n
+}
+
+func (c *ColumnCursor) nextString(n int, dst *schema.Vector) error {
+	for i := 0; i < n; i++ {
+		z := indexByteFrom(c.raw, c.bpos, 0)
+		if z < 0 {
+			return fmt.Errorf("pax: unterminated string value")
+		}
+		if dst != nil {
+			dst.Str = append(dst.Str, string(c.raw[c.bpos:z]))
+		}
+		c.bpos = z + 1
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package pax
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// drainCursor collects the cursor's remaining rows in batches of batchN.
+func drainCursor(t *testing.T, c *ColumnCursor, typ schema.Type, batchN int) []schema.Value {
+	t.Helper()
+	vec := schema.NewVector(typ)
+	var out []schema.Value
+	for {
+		n, err := c.Next(batchN, vec)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if n == 0 {
+			break
+		}
+		if vec.Len() != n {
+			t.Fatalf("Next returned %d but vector has %d values", n, vec.Len())
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, vec.Value(i))
+		}
+	}
+	return out
+}
+
+func TestColumnCursorMatchesReadColumnRange(t *testing.T) {
+	b := buildBlock(t, 4000, 21)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := [][2]int{
+		{0, 4000},                          // whole block
+		{1500, 2600},                       // interior, crosses a partition boundary
+		{0, 1},                             // single row
+		{PartitionSize, 2 * PartitionSize}, // exactly one partition
+		{PartitionSize - 1, PartitionSize}, // last row of a partition
+		{PartitionSize, PartitionSize + 1}, // first row of a partition
+		{3999, 4000},                       // last row of the block
+		{700, 700},                         // empty
+	}
+	for col := 0; col < testSchema.NumFields(); col++ {
+		typ := testSchema.Field(col).Type
+		for _, rg := range ranges {
+			from, to := rg[0], rg[1]
+			for _, batchN := range []int{1, 7, PartitionSize, 5000} {
+				r, err := NewReader(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := r.NewColumnCursor(col, from, to)
+				if err != nil {
+					t.Fatalf("col %d [%d,%d): %v", col, from, to, err)
+				}
+				if c.Remaining() != to-from {
+					t.Fatalf("col %d: Remaining = %d, want %d", col, c.Remaining(), to-from)
+				}
+				got := drainCursor(t, c, typ, batchN)
+
+				ref, err := NewReader(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.ReadColumnRange(col, from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("col %d [%d,%d) batch %d: %d values, want %d", col, from, to, batchN, len(got), len(want))
+				}
+				for i := range want {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("col %d [%d,%d) row %d: %v != %v", col, from, to, i, got[i], want[i])
+					}
+				}
+				// The cursor must cost exactly what the eager range read
+				// costs — all raw reads happen at creation, none during Next.
+				if r.Stats() != ref.Stats() {
+					t.Fatalf("col %d [%d,%d): cursor stats %+v != range stats %+v",
+						col, from, to, r.Stats(), ref.Stats())
+				}
+			}
+		}
+	}
+}
+
+func TestColumnCursorMultiColumnSeekParity(t *testing.T) {
+	// Opening cursors for several columns in ascending order must produce
+	// the same seek count as the row path's ascending ReadColumnRange
+	// calls — this is what keeps block scan I/O accounting byte-identical
+	// between the row and batch pipelines.
+	b := buildBlock(t, 3000, 22)
+	data, _ := b.Marshal()
+	cols := []int{0, 2, 4}
+	from, to := 800, 2500
+
+	cur, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range cols {
+		if _, err := cur.NewColumnCursor(col, from, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range cols {
+		if _, err := ref.ReadColumnRange(col, from, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cur.Stats() != ref.Stats() {
+		t.Fatalf("cursor stats %+v != range stats %+v", cur.Stats(), ref.Stats())
+	}
+}
+
+func TestColumnCursorSkip(t *testing.T) {
+	b := buildBlock(t, 2*PartitionSize, 23)
+	data, _ := b.Marshal()
+	for col := 0; col < testSchema.NumFields(); col++ {
+		typ := testSchema.Field(col).Type
+		r, err := NewReader(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := r.NewColumnCursor(col, 10, 2*PartitionSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip one batch (nil dst), then decode: values must line up with
+		// the rows after the skipped span.
+		skipN := 300
+		if n, err := c.Next(skipN, nil); err != nil || n != skipN {
+			t.Fatalf("skip: n=%d err=%v", n, err)
+		}
+		vec := schema.NewVector(typ)
+		n, err := c.Next(50, vec)
+		if err != nil || n != 50 {
+			t.Fatalf("decode after skip: n=%d err=%v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			want := b.Value(10+skipN+i, col)
+			if !vec.Value(i).Equal(want) {
+				t.Fatalf("col %d: after skip, row %d = %v, want %v", col, i, vec.Value(i), want)
+			}
+		}
+	}
+}
+
+// TestColumnCursorNextSelected: decoding only a selection out of each
+// batch must yield exactly the selected rows' values, and the cursor must
+// keep advancing full batches so mixed Next/NextSelected calls stay
+// aligned with the row range.
+func TestColumnCursorNextSelected(t *testing.T) {
+	b := buildBlock(t, 3*PartitionSize, 25)
+	data, _ := b.Marshal()
+	from, to := 100, 3*PartitionSize-50
+	sels := [][]int32{
+		{},                 // nothing survives: advance only
+		{0},                // first row of the batch
+		{0, 1, 2},          // dense prefix
+		{3, 97, 401, 500},  // scattered
+		{511},              // last row of a 512-row batch
+		{5, 6, 300, 301},   // pairs
+		{17, 200, 350, 77}, // deliberately reused buffer shape below
+	}
+	for col := 0; col < testSchema.NumFields(); col++ {
+		typ := testSchema.Field(col).Type
+		r, err := NewReader(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := r.NewColumnCursor(col, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := schema.NewVector(typ)
+		base := from
+		for i := 0; c.Remaining() > 0; i++ {
+			const batchN = 512
+			sel := sels[i%len(sels)]
+			n := batchN
+			if rem := c.Remaining(); n > rem {
+				n = rem
+			}
+			kept := sel[:0:0]
+			for _, s := range sel {
+				if int(s) < n {
+					kept = append(kept, s)
+				}
+			}
+			if _, err := c.NextSelected(n, kept, vec); err != nil {
+				t.Fatal(err)
+			}
+			if vec.Len() != len(kept) {
+				t.Fatalf("col %d batch %d: %d values, want %d", col, i, vec.Len(), len(kept))
+			}
+			for j, s := range kept {
+				want := b.Value(base+int(s), col)
+				if !vec.Value(j).Equal(want) {
+					t.Fatalf("col %d batch %d sel %d: %v, want %v", col, i, s, vec.Value(j), want)
+				}
+			}
+			base += n
+		}
+		if base != to {
+			t.Fatalf("col %d: cursor advanced to %d, want %d", col, base, to)
+		}
+	}
+}
+
+// TestColumnCursorNextSelectedUnsorted documents the contract: selection
+// indices must be ascending; string columns silently skip out-of-order
+// entries because the terminator walk is one-directional. (Fixed-width
+// columns tolerate any order, but callers must not rely on that.)
+func TestColumnCursorNextSelectedUnsorted(t *testing.T) {
+	b := buildBlock(t, PartitionSize, 26)
+	data, _ := b.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.NewColumnCursor(4, 0, PartitionSize) // url: String
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := schema.NewVector(schema.String)
+	if _, err := c.NextSelected(PartitionSize, []int32{10, 5}, vec); err != nil {
+		t.Fatal(err)
+	}
+	if vec.Len() != 1 || !vec.Value(0).Equal(b.Value(10, 4)) {
+		t.Fatalf("unsorted selection: got %d values, want the one in-order entry", vec.Len())
+	}
+}
+
+func TestColumnCursorBounds(t *testing.T) {
+	b := buildBlock(t, 100, 24)
+	data, _ := b.Marshal()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewColumnCursor(-1, 0, 10); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := r.NewColumnCursor(99, 0, 10); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := r.NewColumnCursor(0, -1, 10); err == nil {
+		t.Error("negative fromRow accepted")
+	}
+	if _, err := r.NewColumnCursor(0, 5, 101); err == nil {
+		t.Error("toRow beyond rows accepted")
+	}
+	if _, err := r.NewColumnCursor(0, 7, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+	c, err := r.NewColumnCursor(0, 5, 5)
+	if err != nil {
+		t.Fatalf("empty range: %v", err)
+	}
+	if st := r.Stats(); st != (IOStats{}) {
+		t.Errorf("empty cursor performed reads: %+v", st)
+	}
+	vec := schema.NewVector(schema.Int32)
+	if n, err := c.Next(10, vec); err != nil || n != 0 {
+		t.Errorf("Next on empty cursor: n=%d err=%v", n, err)
+	}
+}

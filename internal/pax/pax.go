@@ -13,6 +13,15 @@
 // (n = PartitionSize), exactly as described in §3.5 "Accessing Variable-size
 // Attributes": tuple reconstruction for row r starts at offset[r/n] and
 // skips r%n terminators.
+//
+// Reading has two granularities. Reader.ReadColumnRange boxes a row range
+// into []schema.Value eagerly — the legacy row path. ColumnCursor is the
+// vectorized access path: it performs the same raw reads (same bytes,
+// same seeks) once at creation, then decodes lazily, batch by batch, into
+// reused typed schema.Vectors; NextSelected decodes only the rows a
+// selection vector kept, which is what makes late materialization pay on
+// selective scans — skipped string values are walked past, never
+// allocated.
 package pax
 
 import (

@@ -10,6 +10,15 @@
 // Attribute references are 1-based (@1 is the first attribute), following
 // the paper. A filter is a conjunction of per-attribute predicates; HAIL
 // picks a clustered index matching one of them and post-filters the rest.
+//
+// Predicates evaluate in two forms. Matches/MatchesRow compare boxed
+// schema.Values one row at a time. The vectorized form works on whole
+// batches: FilterVector runs one predicate as a typed kernel over a
+// schema.Vector, writing the indices of surviving rows into a Selection
+// (a selection vector), and MatchesBatch chains the conjunction by
+// feeding each predicate the previous one's survivors — intersection by
+// construction, with an empty-selection short circuit. Both forms are
+// equivalence-tested against each other on randomized blocks.
 package query
 
 import (

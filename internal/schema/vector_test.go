@@ -1,0 +1,88 @@
+package schema
+
+import "testing"
+
+func TestVectorAppendValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		vals []Value
+	}{
+		{Int32, []Value{IntVal(-7), IntVal(0), IntVal(1 << 30)}},
+		{Date, []Value{DateVal(0), DateVal(20000)}},
+		{Int64, []Value{LongVal(-1 << 40), LongVal(42)}},
+		{Float64, []Value{FloatVal(-1.5), FloatVal(0), FloatVal(3.25)}},
+		{String, []Value{StringVal(""), StringVal("a"), StringVal("zz")}},
+	}
+	for _, c := range cases {
+		v := NewVector(c.typ)
+		if v.Type() != c.typ {
+			t.Errorf("%s: Type = %s", c.typ, v.Type())
+		}
+		for _, val := range c.vals {
+			v.Append(val)
+		}
+		if v.Len() != len(c.vals) {
+			t.Errorf("%s: Len = %d, want %d", c.typ, v.Len(), len(c.vals))
+		}
+		for i, want := range c.vals {
+			if got := v.Value(i); !got.Equal(want) {
+				t.Errorf("%s: Value(%d) = %v, want %v", c.typ, i, got, want)
+			}
+		}
+		v.Reset()
+		if v.Len() != 0 {
+			t.Errorf("%s: Len after Reset = %d", c.typ, v.Len())
+		}
+	}
+}
+
+func TestVectorAppendTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("appending a string to an int32 vector did not panic")
+		}
+	}()
+	NewVector(Int32).Append(StringVal("x"))
+}
+
+func TestVectorResetKeepsCapacity(t *testing.T) {
+	v := NewVector(Int64)
+	for i := 0; i < 100; i++ {
+		v.I64 = append(v.I64, int64(i))
+	}
+	v.Reset()
+	if cap(v.I64) < 100 {
+		t.Errorf("Reset dropped capacity: %d", cap(v.I64))
+	}
+}
+
+func TestVectorGather(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		vals []Value
+	}{
+		{Int32, []Value{IntVal(10), IntVal(20), IntVal(30), IntVal(40), IntVal(50)}},
+		{Date, []Value{DateVal(1), DateVal(2), DateVal(3), DateVal(4), DateVal(5)}},
+		{Int64, []Value{LongVal(-1), LongVal(0), LongVal(7), LongVal(9), LongVal(11)}},
+		{Float64, []Value{FloatVal(0.5), FloatVal(1.5), FloatVal(2.5), FloatVal(3.5), FloatVal(4.5)}},
+		{String, []Value{StringVal("a"), StringVal("bb"), StringVal("c"), StringVal("dd"), StringVal("e")}},
+	}
+	sels := [][]int32{{}, {0}, {4}, {1, 3}, {0, 2, 4}, {0, 1, 2, 3, 4}}
+	for _, tc := range cases {
+		for _, sel := range sels {
+			v := NewVector(tc.typ)
+			for _, val := range tc.vals {
+				v.Append(val)
+			}
+			v.Gather(sel)
+			if v.Len() != len(sel) {
+				t.Fatalf("%v gather %v: len %d, want %d", tc.typ, sel, v.Len(), len(sel))
+			}
+			for j, s := range sel {
+				if !v.Value(j).Equal(tc.vals[s]) {
+					t.Fatalf("%v gather %v: [%d] = %v, want %v", tc.typ, sel, j, v.Value(j), tc.vals[s])
+				}
+			}
+		}
+	}
+}

@@ -33,6 +33,15 @@ func PassthroughMap(r mapred.Record, emit mapred.Emit) {
 	emit(r.Row.Line(','), "")
 }
 
+// PassthroughMapBatch is PassthroughMap in batch form: jobs that set it
+// (alongside Map) let the engine consume the record reader's vectorized
+// batch stream directly. It materializes through Batch.Each, so its
+// output is byte-identical to PassthroughMap's and the two share
+// PassthroughMapSig.
+func PassthroughMapBatch(b *mapred.Batch, emit mapred.Emit) {
+	b.Each(func(r mapred.Record) { PassthroughMap(r, emit) })
+}
+
 // PassthroughMapSig is PassthroughMap's stable identity for
 // mapred.Job.MapSig — every job that uses PassthroughMap must use this
 // signature so their cached block results interchange.
