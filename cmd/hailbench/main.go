@@ -10,6 +10,7 @@
 //	hailbench [-quick] -dispatch [-cache-budget N] [-workload UserVisits]
 //	hailbench [-quick] -lifecycle [-offer-rate 0.5] [-jobs 6] [-workload UserVisits] [-adaptive-budget N]
 //	hailbench [-quick] -vector [-workload UserVisits]
+//	hailbench [-quick] -obs [-workload UserVisits] [-json BENCH_obs.json]
 //
 // With no flags it runs every paper experiment at full fidelity (~64
 // partitions per block), printing each figure as an aligned table of
@@ -55,6 +56,12 @@
 // experiment whose numbers are wall-clock throughput rather than
 // cost-model seconds.
 //
+// -obs runs the benchmark query set with the observability layer fully
+// wired (per-query trace spans, metrics registry, namenode gauges) and
+// reports each query's task-latency p50/p95/p99 from the registry's
+// histograms — gated on byte-equivalence to unobserved execution, a
+// validating span tree, and the root span covering ≥90% of wall-clock.
+//
 // -json writes the run's report as JSON to the given path — CI uploads
 // these as BENCH_*.json artifacts to accumulate the perf trajectory
 // across commits.
@@ -86,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	dispatchMode := fs.Bool("dispatch", false, "run the scan-split packing (dispatch) experiment")
 	lifecycleMode := fs.Bool("lifecycle", false, "run the adaptive replica lifecycle (workload shift + eviction) experiment")
 	vectorMode := fs.Bool("vector", false, "run the vectorized-scan A/B (row path vs batch pipeline, measured throughput)")
+	obsMode := fs.Bool("obs", false, "run the observability experiment (traced benchmark queries, task-latency p50/p95/p99)")
 	packScans := fs.Bool("pack-scans", false, "with -cache: run the trajectory under packed scan splits")
 	adaptiveEvict := fs.Bool("adaptive-evict", false, "with -adaptive: evict the coldest adaptive replicas when a build would exceed -adaptive-budget")
 	offerRate := fs.Float64("offer-rate", 0.25, "adaptive/cache/lifecycle: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
@@ -112,13 +120,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// The trajectory experiments and the paper-figure list are separate
 	// modes; reject combinations that would silently ignore a flag.
 	modes := 0
-	for _, on := range []bool{*adaptiveMode, *cacheMode, *dispatchMode, *lifecycleMode, *vectorMode} {
+	for _, on := range []bool{*adaptiveMode, *cacheMode, *dispatchMode, *lifecycleMode, *vectorMode, *obsMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("%w: -adaptive, -cache, -dispatch, -lifecycle and -vector are mutually exclusive", errUsage)
+		return fmt.Errorf("%w: -adaptive, -cache, -dispatch, -lifecycle, -vector and -obs are mutually exclusive", errUsage)
 	}
 	if modes > 0 && *only != "" {
 		return fmt.Errorf("%w: -only does not combine with the trajectory experiments", errUsage)
@@ -154,6 +162,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// The vector A/B fixes its own query set and repeat count.
 		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
 			return fmt.Errorf("%w: %s does not combine with -vector", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if *obsMode {
+		// The observability experiment fixes its own query set.
+		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s does not combine with -obs", errUsage, strings.Join(stray, ", "))
 		}
 	}
 
@@ -198,6 +212,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintln(stdout, rep)
 			fmt.Fprintf(stdout, "(FigLifecycle computed in %.1fs real time)\n", time.Since(start).Seconds())
+			return writeJSON(rep)
+		case *obsMode:
+			rep, err := r.ExpObs(w)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprintf(stdout, "(FigObs computed in %.1fs real time)\n", time.Since(start).Seconds())
 			return writeJSON(rep)
 		case *vectorMode:
 			repeats := 3

@@ -336,6 +336,56 @@ func TestBenchVectorSmoke(t *testing.T) {
 	}
 }
 
+// TestBenchObsSmoke drives the observability experiment end to end:
+// traced benchmark queries, equivalence- and coverage-gated, with
+// non-zero latency quantiles per query in the JSON artifact.
+func TestBenchObsSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	var out, errb bytes.Buffer
+	err := run([]string{"-quick", "-obs", "-json", jsonPath}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FigObs", "task p50 [ms]", "task p99 [ms]", "byte-identical"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	var rep experiments.ObsReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON artifact: %v", err)
+	}
+	if len(rep.Queries) != 3 || len(rep.Metrics) == 0 {
+		t.Fatalf("artifact implausible: %d queries, %d metrics", len(rep.Queries), len(rep.Metrics))
+	}
+	for _, q := range rep.Queries {
+		if q.TaskP50Ms <= 0 || q.TaskP99Ms <= 0 {
+			t.Errorf("%s: zero latency quantiles: %+v", q.Name, q)
+		}
+		if q.RootCoverage < 0.9 {
+			t.Errorf("%s: root span covers %.0f%% of wall-clock", q.Name, 100*q.RootCoverage)
+		}
+	}
+}
+
+func TestBenchObsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-obs", "-vector"}, &out, &errb); err == nil {
+		t.Error("accepted -obs with -vector")
+	}
+	if err := run([]string{"-obs", "-jobs", "3"}, &out, &errb); err == nil {
+		t.Error("accepted -jobs with -obs")
+	}
+	if err := run([]string{"-obs", "-only", "Fig4a"}, &out, &errb); err == nil {
+		t.Error("accepted -obs with -only")
+	}
+}
+
 func TestBenchVectorBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run([]string{"-vector", "-cache"}, &out, &errb); err == nil {

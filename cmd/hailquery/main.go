@@ -7,6 +7,7 @@
 //	          -q '@HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})' \
 //	          [-splitting] [-pack-scans] [-adaptive] [-offer-rate 0.25] [-adaptive-budget N] [-adaptive-evict] \
 //	          [-cache] [-cache-budget N] [-row-path] [-stats] [-limit 20]
+//	          [-trace out.json] [-metrics]
 //
 // The job uses the HailInputFormat: if some replica of each block carries
 // a clustered index matching the filter attribute, the record reader
@@ -45,6 +46,15 @@
 // main consumers are the engine-embedded uses (hailbench -cache shows
 // the cross-job trajectory). Replica changes — adaptive builds, node
 // loss — invalidate affected entries via the namenode's change hook.
+//
+// -trace records the query as a tree of timed spans (split planning,
+// per-task scheduling/wait/execute, failover repacks, cache probes,
+// adaptive builds) and writes it as Chrome trace_event JSON — load the
+// file in chrome://tracing or https://ui.perfetto.dev. -metrics prints
+// the process metrics registry (engine counters, namenode shard ops,
+// cache and adaptive-indexer gauges, task-latency histograms) after the
+// query. Both are nil-safe pass-throughs: without the flags the engine
+// records nothing and the hot path allocates nothing extra.
 package main
 
 import (
@@ -61,6 +71,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hdfs"
 	"repro/internal/mapred"
+	"repro/internal/obs"
 	"repro/internal/pax"
 	"repro/internal/qcache"
 	"repro/internal/query"
@@ -85,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rowPath := fs.Bool("row-path", false, "use the legacy row-at-a-time record reader instead of the vectorized batch pipeline (byte-identical output; for A/B measurement)")
 	nnShards := fs.Int("nn-shards", 0, "namenode directory shards (0 = default, 1 = unsharded)")
 	stats := fs.Bool("stats", false, "print access-path statistics")
+	tracePath := fs.String("trace", "", "write the query's trace as Chrome trace_event JSON to this path (load in chrome://tracing or ui.perfetto.dev)")
+	metrics := fs.Bool("metrics", false, "print the process metrics registry (counters, gauges, latency histograms) after the query")
 	limit := fs.Int("limit", 20, "max result rows to print (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -159,12 +172,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	// Observability: -stats, -metrics and -trace all ride on the same
+	// nil-safe handles — without them the engine's hot path records
+	// nothing and allocates nothing.
+	var reg *obs.Registry
+	if *stats || *metrics || *tracePath != "" {
+		reg = obs.NewRegistry()
+		engine.Obs = reg
+		cluster.NameNode().BindObs(reg)
+		cache.BindObs(reg)
+		idx.BindObs(reg)
+	}
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.NewTrace("hailquery")
+		idx.SetTrace(tr)
+	}
 	res, err := engine.Run(&mapred.Job{
 		Name:   "hailquery",
 		File:   *name,
 		Input:  input,
 		Map:    workload.PassthroughMap,
 		MapSig: workload.PassthroughMapSig, // required for the result cache to engage
+		Trace:  tr,
 	})
 	if err != nil {
 		return err
@@ -187,10 +217,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// namenode directory lookups — report them instead of hiding them.
 		fmt.Fprintf(stdout, "-- split phase: %d namenode directory ops, 0 block-header reads\n",
 			res.SplitPhase.NameNodeOps)
-		if res.Repacked > 0 {
-			fmt.Fprintf(stdout, "-- failover: %d task(s) repacked, %d block(s) re-executed\n",
-				res.Repacked, res.BlocksRerun)
-		}
+		// Uniform engine counters, sourced from the metrics registry (the
+		// same numbers -metrics prints and hailbench -obs aggregates).
+		fmt.Fprintf(stdout, "-- engine: %d tasks (%d node-local), %d repacked, %d blocks rerun, %d namenode ops total\n",
+			reg.Counter("engine.tasks").Value(), reg.Counter("engine.tasks_local").Value(),
+			reg.Counter("engine.tasks_repacked").Value(), reg.Counter("engine.blocks_rerun").Value(),
+			reg.Counter("engine.namenode_ops").Value())
 		fmt.Fprintf(stdout, "-- %s\n", cluster.NameNode().ShardStats())
 	}
 	if cache != nil {
@@ -243,6 +275,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := idx.LastErr(); err != nil {
 			return err
 		}
+	}
+	if tr != nil {
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		fmt.Fprintf(stdout, "-- trace: %d spans written to %s\n", len(tr.SpanInfos()), *tracePath)
+	}
+	if *metrics {
+		fmt.Fprint(stdout, reg.String())
 	}
 	return nil
 }

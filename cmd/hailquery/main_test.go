@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -209,6 +211,75 @@ func TestQueryAdaptiveBudgetDeniesBuilds(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "builds denied") {
 		t.Errorf("tiny budget denied nothing:\n%s", s)
+	}
+}
+
+// TestQueryTraceAndMetrics: -trace writes valid Chrome trace_event JSON,
+// -metrics prints the registry, the -stats engine line is sourced from
+// it, and none of that changes the query's result rows.
+func TestQueryTraceAndMetrics(t *testing.T) {
+	dir := makeFS(t, 700)
+	base := []string{
+		"-fs", dir, "-name", "/t",
+		"-q", `@HailQuery(filter="@1 = 3", projection={@2})`,
+		"-limit", "1",
+	}
+
+	var plain bytes.Buffer
+	if err := run(base, &plain, &plain); err != nil {
+		t.Fatalf("plain run: %v\n%s", err, plain.String())
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	args := append(append([]string(nil), base...),
+		"-stats", "-metrics", "-trace", tracePath, "-cache")
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+
+	if got, want := rowCount(t, s), rowCount(t, plain.String()); got != want {
+		t.Errorf("observed run returned %d rows, unobserved %d", got, want)
+	}
+	if !strings.Contains(s, "-- engine:") || !strings.Contains(s, "namenode ops total") {
+		t.Errorf("-stats missing registry-sourced engine line:\n%s", s)
+	}
+	if !strings.Contains(s, "-- trace:") || !strings.Contains(s, "spans written to") {
+		t.Errorf("missing trace summary line:\n%s", s)
+	}
+	if !strings.Contains(s, "engine.tasks") || !strings.Contains(s, "engine.task_seconds") {
+		t.Errorf("-metrics output missing engine metrics:\n%s", s)
+	}
+	if !strings.Contains(s, "qcache.hits") || !strings.Contains(s, "hdfs.namenode.dir_ops") {
+		t.Errorf("-metrics output missing bound subsystem gauges:\n%s", s)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			t.Fatalf("event %q missing ph", ev.Name)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"run", "plan", "map", "task 0"} {
+		if !names[want] {
+			t.Errorf("trace missing %q event; got %d events", want, len(doc.TraceEvents))
+		}
 	}
 }
 

@@ -49,10 +49,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hdfs"
 	"repro/internal/mapred"
+	"repro/internal/obs"
 )
 
 // DefaultOfferRate is the fraction of a job's unindexed blocks offered
@@ -227,6 +229,13 @@ type Indexer struct {
 	// selection's readability guard treats them as already gone.
 	dropping map[dropKey]bool
 	extra    int64 // extra storage consumed so far, against budget
+
+	// om/tr are the observability hooks (BindObs / SetTrace): registry
+	// handles for activity counters and the build-latency histogram, and
+	// the per-query trace receiving offer/build/evict/deny events. Both
+	// nil by default, making every recording site a no-op.
+	om obsHandles
+	tr *obs.Trace
 }
 
 // New returns an Indexer for the cluster. offerRate 0 selects
@@ -365,6 +374,14 @@ func (i *Indexer) ObserveJob(file string, column int, indexed, missing []hdfs.Bl
 		if len(m) == 0 {
 			delete(i.pending, b)
 		}
+	}
+	i.om.offers.Add(int64(offer))
+	i.om.denied.Add(int64(denied))
+	if i.tr.Enabled() {
+		i.tr.Instant("adaptive.observe", "adaptive", 0, obs.Span{})
+		i.tr.Count("adaptive.offered", int64(offer))
+		i.tr.Count("adaptive.budget_denied", int64(denied))
+		i.tr.Count("adaptive.missing", int64(len(missing)))
 	}
 	plan := &JobPlan{
 		File: file, Column: column,
@@ -665,6 +682,12 @@ func (i *Indexer) dropVictims(plan *JobPlan, victims []*replicaRecord) {
 		plan.EvictedReplicas = append(plan.EvictedReplicas, EvictedReplica{
 			File: v.file, Column: v.col, Block: v.block, Node: v.node, Bytes: v.charged,
 		})
+		i.om.evicted.Inc()
+		i.om.evictedBytes.Add(v.charged)
+		if i.tr.Enabled() {
+			i.tr.Instant("adaptive.evict", "adaptive", 0, obs.Span{})
+			i.tr.Count("adaptive.evicted", 1)
+		}
 		i.mu.Unlock()
 	}
 }
@@ -676,7 +699,19 @@ func (i *Indexer) dropVictims(plan *JobPlan, victims []*replicaRecord) {
 // otherwise.
 func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs.NodeID) {
 	file, col := key.file, key.col
+	i.mu.Lock()
+	om, tr := i.om, i.tr
+	i.mu.Unlock()
+	sp := tr.StartSpan("adaptive.build", "adaptive", 0, obs.Span{})
+	sp.SetInt("block", int64(b))
+	sp.SetInt("col", int64(col))
+	defer sp.End()
+	var buildStart time.Time
+	if om.buildSeconds != nil {
+		buildStart = time.Now()
+	}
 	fail := func(err error) {
+		om.failed.Inc()
 		i.mu.Lock()
 		plan.Failed++
 		plan.err = fmt.Errorf("adaptive: block %d column %d: %v", b, col, err)
@@ -698,6 +733,8 @@ func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs
 	}
 	i.mu.Unlock()
 	if over {
+		om.denied.Inc()
+		tr.Count("adaptive.budget_denied", 1)
 		return
 	}
 
@@ -709,6 +746,7 @@ func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs
 	if !replace {
 		var ok bool
 		if target, ok = i.pickFreeNode(b, nil); !ok {
+			om.skipped.Inc()
 			i.mu.Lock()
 			plan.Skipped++
 			i.mu.Unlock()
@@ -766,6 +804,8 @@ func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs
 	if i.budget > 0 && i.extra >= i.budget {
 		plan.BudgetDenied++
 		i.mu.Unlock()
+		om.denied.Inc()
+		tr.Count("adaptive.budget_denied", 1)
 		i.dropVictims(plan, victims)
 		return
 	}
@@ -794,6 +834,7 @@ func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs
 			if target, ok = i.pickFreeNode(b, collided); ok {
 				continue
 			}
+			om.skipped.Inc()
 			i.mu.Lock()
 			i.extra -= extraDelta
 			plan.Skipped++
@@ -807,6 +848,16 @@ func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs
 		return
 	}
 
+	om.built.Inc()
+	if replace {
+		om.replaced.Inc()
+	} else {
+		om.added.Inc()
+	}
+	if om.buildSeconds != nil {
+		om.buildSeconds.Observe(time.Since(buildStart))
+	}
+	tr.Count("adaptive.built", 1)
 	i.mu.Lock()
 	plan.Built++
 	if replace {

@@ -1,0 +1,68 @@
+package adaptive
+
+import "repro/internal/obs"
+
+// obsHandles are the indexer's resolved registry handles. The zero value
+// (no registry bound) holds nil handles whose methods no-op, so recording
+// sites never branch.
+type obsHandles struct {
+	offers       *obs.Counter
+	built        *obs.Counter
+	added        *obs.Counter
+	replaced     *obs.Counter
+	denied       *obs.Counter
+	skipped      *obs.Counter
+	failed       *obs.Counter
+	evicted      *obs.Counter
+	evictedBytes *obs.Counter
+	buildSeconds *obs.Histogram
+}
+
+// BindObs registers the indexer's activity counters and build-latency
+// histogram with the registry, plus lazily evaluated gauges over its
+// lifecycle state (extra bytes against budget, live adaptive replicas,
+// pending offers).
+func (i *Indexer) BindObs(reg *obs.Registry) {
+	if i == nil || reg == nil {
+		return
+	}
+	h := obsHandles{
+		offers:       reg.Counter("adaptive.offers"),
+		built:        reg.Counter("adaptive.built"),
+		added:        reg.Counter("adaptive.replicas_added"),
+		replaced:     reg.Counter("adaptive.replicas_replaced"),
+		denied:       reg.Counter("adaptive.budget_denied"),
+		skipped:      reg.Counter("adaptive.skipped"),
+		failed:       reg.Counter("adaptive.failed"),
+		evicted:      reg.Counter("adaptive.evicted"),
+		evictedBytes: reg.Counter("adaptive.evicted_bytes"),
+		buildSeconds: reg.Histogram("adaptive.build_seconds"),
+	}
+	reg.SetGaugeFunc("adaptive.extra_bytes", func() int64 { return i.ExtraBytes() })
+	reg.SetGaugeFunc("adaptive.replicas", func() int64 {
+		i.mu.Lock()
+		defer i.mu.Unlock()
+		return int64(len(i.replicas))
+	})
+	reg.SetGaugeFunc("adaptive.pending_offers", func() int64 {
+		i.mu.Lock()
+		defer i.mu.Unlock()
+		return int64(len(i.pending))
+	})
+	i.mu.Lock()
+	i.om = h
+	i.mu.Unlock()
+}
+
+// SetTrace attaches (or, with nil, detaches) a trace: offer decisions,
+// builds, evictions, and budget denials are recorded into it as spans and
+// counts. The indexer never closes over a job's lifetime, so callers
+// re-point the trace per query; all recording is nil-safe.
+func (i *Indexer) SetTrace(tr *obs.Trace) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.tr = tr
+	i.mu.Unlock()
+}

@@ -274,16 +274,36 @@ func (f *InputFormat) scanSplits(blocks []hdfs.BlockID) []mapred.Split {
 // shape hailSplits gives index-matched blocks. Blocks with no alive
 // replica keep a degenerate per-block split (nothing can read them until
 // a holder returns, and packing them would poison a whole packed split).
+//
+// Skewed replica placement is load-balanced: a node's pack-group share is
+// capped at its fair share (⌈packable blocks / candidate nodes⌉), and a
+// block whose preferred holder is at the cap spills to its next-preferred
+// alive replica with room — so a node that happens to head most replica
+// lists no longer absorbs most of the scan. Under even placement every
+// head stays below the cap and grouping is identical to the unbalanced
+// policy. Cache-pinned blocks never move (moving would forfeit the hit)
+// but pre-charge their node's share so spillable blocks route around hot
+// cached nodes.
 func (f *InputFormat) packScanSplits(blocks []hdfs.BlockID) []mapred.Split {
-	groups := make(map[hdfs.NodeID][]hdfs.BlockID)
 	type looseSplit struct {
 		block hdfs.BlockID
 		hosts []hdfs.NodeID
 	}
+	type packBlock struct {
+		block  hdfs.BlockID
+		pin    hdfs.NodeID // cache-pinned node, valid when pinned
+		pinned bool
+		hosts  []hdfs.NodeID // alive candidate holders, preference order
+	}
+	var packable []packBlock
 	var loose []looseSplit
+	load := make(map[hdfs.NodeID]int)
+	cands := make(map[hdfs.NodeID]bool)
 	for _, b := range blocks {
 		if n, ok := f.cachedAliveReplica(b); ok {
-			groups[n] = append(groups[n], b)
+			packable = append(packable, packBlock{block: b, pin: n, pinned: true})
+			load[n]++
+			cands[n] = true
 			continue
 		}
 		hosts := f.scanHosts(b)
@@ -299,7 +319,42 @@ func (f *InputFormat) packScanSplits(blocks []hdfs.BlockID) []mapred.Split {
 			loose = append(loose, looseSplit{b, hosts})
 			continue
 		}
-		groups[hosts[0]] = append(groups[hosts[0]], b)
+		packable = append(packable, packBlock{block: b, hosts: hosts})
+		for _, h := range hosts {
+			cands[h] = true
+		}
+	}
+	share := 0
+	if len(cands) > 0 {
+		share = (len(packable) + len(cands) - 1) / len(cands)
+	}
+	// Assign in block order (group member order is part of the output
+	// byte-equivalence contract): preferred holder while under the cap,
+	// else the first candidate with room, else the least-loaded candidate
+	// (single-holder blocks can exceed the cap — there is nowhere else).
+	groups := make(map[hdfs.NodeID][]hdfs.BlockID)
+	for _, pb := range packable {
+		n := pb.pin
+		if !pb.pinned {
+			n = pb.hosts[0]
+			if load[n] >= share {
+				for _, h := range pb.hosts {
+					if load[h] < share {
+						n = h
+						break
+					}
+				}
+				if load[n] >= share {
+					for _, h := range pb.hosts[1:] {
+						if load[h] < load[n] {
+							n = h
+						}
+					}
+				}
+			}
+			load[n]++
+		}
+		groups[n] = append(groups[n], pb.block)
 	}
 	splits := f.packGroups(groups)
 	for _, l := range loose {

@@ -6,8 +6,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/hdfs"
+	"repro/internal/obs"
 )
 
 // TaskReport is the outcome of one map task.
@@ -100,6 +102,48 @@ type Engine struct {
 	// jobs that declare a MapSig and whose input format implements both
 	// QuerySigner and BlockOpener; all other jobs run unchanged.
 	Cache ResultCache
+	// Obs, if set, receives engine metrics: task latency and scheduling
+	// wait histograms plus dispatch/failover/namenode-op counters. Left
+	// nil, the engine records nothing and the hot path performs zero
+	// additional allocations.
+	Obs *obs.Registry
+}
+
+// engineMetrics holds the engine's registry handles, resolved once per
+// Run. A nil *engineMetrics (no registry bound) disables all recording.
+type engineMetrics struct {
+	jobs          *obs.Counter
+	tasks         *obs.Counter
+	tasksLocal    *obs.Counter
+	reExecuted    *obs.Counter
+	repackEvents  *obs.Counter
+	tasksRepacked *obs.Counter
+	blocksRerun   *obs.Counter
+	nnOps         *obs.Counter
+	blocks        *obs.Counter
+	blocksCached  *obs.Counter
+	taskSeconds   *obs.Histogram
+	taskWait      *obs.Histogram
+}
+
+func (e *Engine) metrics() *engineMetrics {
+	if e.Obs == nil {
+		return nil
+	}
+	return &engineMetrics{
+		jobs:          e.Obs.Counter("engine.jobs"),
+		tasks:         e.Obs.Counter("engine.tasks"),
+		tasksLocal:    e.Obs.Counter("engine.tasks_local"),
+		reExecuted:    e.Obs.Counter("engine.attempts_reexecuted"),
+		repackEvents:  e.Obs.Counter("engine.repack_events"),
+		tasksRepacked: e.Obs.Counter("engine.tasks_repacked"),
+		blocksRerun:   e.Obs.Counter("engine.blocks_rerun"),
+		nnOps:         e.Obs.Counter("engine.namenode_ops"),
+		blocks:        e.Obs.Counter("engine.blocks"),
+		blocksCached:  e.Obs.Counter("engine.blocks_from_cache"),
+		taskSeconds:   e.Obs.Histogram("engine.task_seconds"),
+		taskWait:      e.Obs.Histogram("engine.task_wait_seconds"),
+	}
 }
 
 // cacheContext is the per-job resolution of the result-cache wiring: the
@@ -230,8 +274,10 @@ func runBlock(job *Job, cc *cacheContext, opener BlockOpener, split Split, b hdf
 		// is keyed at the old generation and simply never found again.
 		key = cc.key(split, b, runOn)
 		if ckvs, _, ok := cc.cache.Get(key); ok {
+			job.Trace.Count("qcache.block_hit", 1)
 			return blockOut{kvs: ckvs, stats: TaskStats{Blocks: 1, BlocksFromCache: 1}}, nil
 		}
+		job.Trace.Count("qcache.block_miss", 1)
 		opener = cc.opener
 	}
 	rr, err := opener.OpenBlock(split, b, runOn)
@@ -246,26 +292,48 @@ func runBlock(job *Job, cc *cacheContext, opener BlockOpener, split Split, b hdf
 	}
 	if cc != nil {
 		cc.cache.Put(key, bkvs, bstats)
+		job.Trace.Count("qcache.block_put", 1)
 	}
 	return blockOut{kvs: bkvs, stats: bstats}, nil
 }
 
 // Run executes the job: split phase, map phase with locality scheduling
 // and failure recovery, then an optional reduce phase.
+//
+// When job.Trace is set, Run records a span tree whose root ("run") has
+// contiguous phase children — plan, schedule, map, assemble, reduce — so
+// the phases' durations sum to the job's wall-clock; per-task spans (with
+// wait/attempt/posttask children) live under "map" on their own trace
+// lanes. When e.Obs is set, task latencies and dispatch/failover counters
+// land in the registry. Both are independent and both default to off.
 func (e *Engine) Run(job *Job) (*JobResult, error) {
 	if job.Map == nil {
 		return nil, fmt.Errorf("mapred: job %q has no map function", job.Name)
 	}
+	tr := job.Trace
+	m := e.metrics()
+	runSpan := tr.StartSpan("run", "job", 0, obs.Span{})
+	runSpan.SetStr("job", job.Name)
+
+	planSpan := tr.StartSpan("plan", "phase", 0, runSpan)
 	splits, err := job.Input.Splits(job.File)
 	if err != nil {
+		planSpan.End()
+		runSpan.End()
 		return nil, fmt.Errorf("mapred: split phase for %q: %v", job.Name, err)
 	}
 	res := &JobResult{SplitPhase: job.Input.SplitPhaseStats()}
+	planSpan.SetInt("splits", int64(len(splits)))
+	planSpan.SetInt("namenode_ops", int64(res.SplitPhase.NameNodeOps))
+	planSpan.End()
 
 	// The JobTracker assigns each split to a computing node, preferring
 	// the split's own locations (data locality, §4.2) and balancing load
 	// across trackers.
+	schedSpan := tr.StartSpan("schedule", "phase", 0, runSpan)
 	assignments := e.schedule(splits)
+	schedSpan.SetInt("tasks", int64(len(splits)))
+	schedSpan.End()
 	cc := e.cacheContext(job)
 
 	par := e.Parallelism
@@ -284,17 +352,42 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 	var progressMu sync.Mutex
 	done := 0
 
+	mapSpan := tr.StartSpan("map", "phase", 0, runSpan)
 	for i := range splits {
 		wg.Add(1)
+		// Task spans open at submission so the wait child measures the
+		// time blocked on an execution slot; both are zero Spans (inert,
+		// allocation-free) when tracing is off.
+		var tsp, wsp obs.Span
+		if tr.Enabled() {
+			tsp = tr.StartSpan(fmt.Sprintf("task %d", i), "task", i+1, mapSpan)
+			wsp = tr.StartSpan("wait", "task", i+1, tsp)
+		}
+		var waitStart time.Time
+		if m != nil {
+			waitStart = time.Now()
+		}
 		sem <- struct{}{}
-		go func(taskID int) {
+		go func(taskID int, tsp, wsp obs.Span, waitStart time.Time) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			report, kvs, err := e.runTask(job, cc, taskID, splits[taskID], assignments[taskID])
+			wsp.End()
+			var execStart time.Time
+			if m != nil {
+				m.taskWait.Observe(time.Since(waitStart))
+				execStart = time.Now()
+			}
+			report, kvs, err := e.runTask(job, cc, taskID, splits[taskID], assignments[taskID], tsp)
+			if m != nil {
+				m.taskSeconds.Observe(time.Since(execStart))
+			}
 			outcomes[taskID] = taskOutcome{report, kvs, err}
 			if err == nil && e.PostTask != nil {
+				ptSpan := tr.StartSpan("posttask", "adaptive", taskID+1, tsp)
 				e.PostTask(report)
+				ptSpan.End()
 			}
+			tsp.End()
 			progressMu.Lock()
 			done++
 			d := done
@@ -302,13 +395,17 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			if e.OnProgress != nil {
 				e.OnProgress(d, len(splits))
 			}
-		}(i)
+		}(i, tsp, wsp, waitStart)
 	}
 	wg.Wait()
+	mapSpan.End()
 
+	assembleSpan := tr.StartSpan("assemble", "phase", 0, runSpan)
 	var mapOut []KV
 	for _, o := range outcomes {
 		if o.err != nil {
+			assembleSpan.End()
+			runSpan.End()
 			return nil, o.err
 		}
 		res.Tasks = append(res.Tasks, o.report)
@@ -321,13 +418,41 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 		res.BlocksRerun += o.report.BlocksRerun
 		mapOut = append(mapOut, o.kvs...)
 	}
+	if m != nil {
+		m.recordJob(res)
+	}
+	assembleSpan.End()
 
 	if job.Reduce == nil {
 		res.Output = mapOut
+		runSpan.End()
 		return res, nil
 	}
+	reduceSpan := tr.StartSpan("reduce", "phase", 0, runSpan)
 	res.Output = runReduce(job.Reduce, mapOut)
+	reduceSpan.End()
+	runSpan.End()
 	return res, nil
+}
+
+// recordJob folds a completed job's result into the registry counters.
+func (m *engineMetrics) recordJob(res *JobResult) {
+	m.jobs.Inc()
+	m.tasks.Add(int64(len(res.Tasks)))
+	m.reExecuted.Add(int64(res.ReExecuted))
+	m.tasksRepacked.Add(int64(res.Repacked))
+	m.blocksRerun.Add(int64(res.BlocksRerun))
+	nnOps := res.SplitPhase.NameNodeOps
+	for _, t := range res.Tasks {
+		if t.Local {
+			m.tasksLocal.Inc()
+		}
+		m.repackEvents.Add(int64(t.Repacks))
+		m.blocks.Add(int64(t.Stats.Blocks))
+		m.blocksCached.Add(int64(t.Stats.BlocksFromCache))
+		nnOps += t.Stats.NameNodeOps
+	}
+	m.nnOps.Add(int64(nnOps))
 }
 
 // schedule assigns each split a node, preferring the split's locations and
@@ -388,8 +513,9 @@ func (e *Engine) schedule(splits []Split) []hdfs.NodeID {
 // re-executed — a node loss no longer forces rescanning a whole packed
 // split elsewhere. Input formats without a BlockOpener keep the
 // historical whole-split retry.
-func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, node hdfs.NodeID) (TaskReport, []KV, error) {
+func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, node hdfs.NodeID, tsp obs.Span) (TaskReport, []KV, error) {
 	const maxAttempts = 4
+	tr := job.Trace
 	opener, _ := job.Input.(BlockOpener)
 	blockwise := cc != nil || (opener != nil && len(split.Blocks) > 1)
 	var done map[hdfs.BlockID]blockOut
@@ -410,6 +536,8 @@ func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, no
 			split, repinned = split.Fallback(e.Cluster.NameNode(), e.nodeAlive)
 			if repinned > 0 {
 				repacks++
+				tr.Instant("repack", "task", taskID+1, tsp)
+				tr.Count("engine.blocks_repinned", int64(repinned))
 			}
 		}
 		runOn := node
@@ -419,6 +547,8 @@ func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, no
 				return TaskReport{}, nil, fmt.Errorf("mapred: no alive node for task %d", taskID)
 			}
 		}
+		asp := tr.StartSpan("attempt", "task", taskID+1, tsp)
+		asp.SetInt("node", int64(runOn))
 		var stats TaskStats
 		var kvs []KV
 		var err error
@@ -432,6 +562,7 @@ func (e *Engine) runTask(job *Job, cc *cacheContext, taskID int, split Split, no
 				stats, err = readRecords(job, rr, emit)
 			}
 		}
+		asp.End()
 		if err != nil {
 			lastErr = err
 			continue
@@ -479,11 +610,13 @@ func (e *Engine) runTaskBlocks(job *Job, cc *cacheContext, opener BlockOpener, s
 	if cc != nil && cc.sc != nil && len(done) == 0 {
 		if k, ok := cc.splitKey(split); ok {
 			if ckvs, _, hit := cc.sc.GetSplit(k); hit {
+				job.Trace.Count("qcache.split_hit", 1)
 				return TaskStats{
 					Blocks:          len(split.Blocks),
 					BlocksFromCache: len(split.Blocks),
 				}, ckvs, nil
 			}
+			job.Trace.Count("qcache.split_miss", 1)
 			skey, splitCacheable = k, true
 		}
 	}
@@ -510,6 +643,7 @@ func (e *Engine) runTaskBlocks(job *Job, cc *cacheContext, opener BlockOpener, s
 	}
 	if splitCacheable {
 		cc.sc.PutSplit(skey, split.Blocks, kvs, stats)
+		job.Trace.Count("qcache.split_put", 1)
 	}
 	return stats, kvs, nil
 }

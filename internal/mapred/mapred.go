@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"repro/internal/hdfs"
+	"repro/internal/obs"
 	"repro/internal/pax"
 	"repro/internal/schema"
 )
@@ -339,4 +340,10 @@ type Job struct {
 	// jobs with an empty MapSig are never cached, and two jobs must only
 	// share a MapSig if their Map and Combine behave identically.
 	MapSig string
+	// Trace, if set, records this job's execution as a tree of timed
+	// spans (split planning, scheduling, per-task wait/attempt/repack,
+	// post-task work) plus qcache probe counts, exportable as Chrome
+	// trace_event JSON. A nil Trace is fully inert: every obs call site
+	// in the engine no-ops without allocating.
+	Trace *obs.Trace
 }
