@@ -11,6 +11,7 @@
 //	hailbench [-quick] -lifecycle [-offer-rate 0.5] [-jobs 6] [-workload UserVisits] [-adaptive-budget N]
 //	hailbench [-quick] -vector [-workload UserVisits]
 //	hailbench [-quick] -obs [-workload UserVisits] [-json BENCH_obs.json]
+//	hailbench [-quick] -serve [-queries 240] [-tenants 4] [-workload UserVisits] [-json BENCH_serve.json]
 //
 // With no flags it runs every paper experiment at full fidelity (~64
 // partitions per block), printing each figure as an aligned table of
@@ -62,6 +63,14 @@
 // histograms — gated on byte-equivalence to unobserved execution, a
 // validating span tree, and the root span covering ≥90% of wall-clock.
 //
+// -serve runs the resident-server storm: a server.Server (the haild
+// stack) is booted over a saved filesystem, the adaptive query is warmed
+// to convergence, and -queries concurrent HTTP queries across -tenants
+// tenants hammer the shared cache + shared adaptive indexer over a
+// hot/cold mix — every response gated byte-equivalent to isolated serial
+// execution, with p50/p99 latency from the server's own obs histograms
+// and wall-clock throughput.
+//
 // -json writes the run's report as JSON to the given path — CI uploads
 // these as BENCH_*.json artifacts to accumulate the perf trajectory
 // across commits.
@@ -94,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	lifecycleMode := fs.Bool("lifecycle", false, "run the adaptive replica lifecycle (workload shift + eviction) experiment")
 	vectorMode := fs.Bool("vector", false, "run the vectorized-scan A/B (row path vs batch pipeline, measured throughput)")
 	obsMode := fs.Bool("obs", false, "run the observability experiment (traced benchmark queries, task-latency p50/p95/p99)")
+	serveMode := fs.Bool("serve", false, "run the resident-server storm (concurrent multi-tenant queries over one shared cache+indexer, p50/p99 + throughput)")
+	serveQueries := fs.Int("queries", 240, "serve: concurrent queries in the storm")
+	serveTenants := fs.Int("tenants", 4, "serve: tenants the storm's queries rotate through")
 	packScans := fs.Bool("pack-scans", false, "with -cache: run the trajectory under packed scan splits")
 	adaptiveEvict := fs.Bool("adaptive-evict", false, "with -adaptive: evict the coldest adaptive replicas when a build would exceed -adaptive-budget")
 	offerRate := fs.Float64("offer-rate", 0.25, "adaptive/cache/lifecycle: fraction of unindexed blocks converted per job (0 = observe demand only, build nothing)")
@@ -120,13 +132,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// The trajectory experiments and the paper-figure list are separate
 	// modes; reject combinations that would silently ignore a flag.
 	modes := 0
-	for _, on := range []bool{*adaptiveMode, *cacheMode, *dispatchMode, *lifecycleMode, *vectorMode, *obsMode} {
+	for _, on := range []bool{*adaptiveMode, *cacheMode, *dispatchMode, *lifecycleMode, *vectorMode, *obsMode, *serveMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("%w: -adaptive, -cache, -dispatch, -lifecycle, -vector and -obs are mutually exclusive", errUsage)
+		return fmt.Errorf("%w: -adaptive, -cache, -dispatch, -lifecycle, -vector, -obs and -serve are mutually exclusive", errUsage)
 	}
 	if modes > 0 && *only != "" {
 		return fmt.Errorf("%w: -only does not combine with the trajectory experiments", errUsage)
@@ -168,6 +180,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// The observability experiment fixes its own query set.
 		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
 			return fmt.Errorf("%w: %s does not combine with -obs", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if *serveMode {
+		// The server storm fixes its own query shapes and server config.
+		if stray := cliutil.Stray(fs, "jobs", "offer-rate", "adaptive-budget"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s does not combine with -serve", errUsage, strings.Join(stray, ", "))
+		}
+	}
+	if !*serveMode {
+		if stray := cliutil.Stray(fs, "queries", "tenants"); len(stray) > 0 {
+			return fmt.Errorf("%w: %s only applies with -serve", errUsage, strings.Join(stray, ", "))
 		}
 	}
 
@@ -212,6 +235,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintln(stdout, rep)
 			fmt.Fprintf(stdout, "(FigLifecycle computed in %.1fs real time)\n", time.Since(start).Seconds())
+			return writeJSON(rep)
+		case *serveMode:
+			rep, err := r.ExpServe(w, *serveQueries, *serveTenants)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprintf(stdout, "(FigServe computed in %.1fs real time)\n", time.Since(start).Seconds())
 			return writeJSON(rep)
 		case *obsMode:
 			rep, err := r.ExpObs(w)

@@ -398,3 +398,48 @@ func TestBenchVectorBadFlags(t *testing.T) {
 		t.Error("accepted -vector with -only")
 	}
 }
+
+func TestBenchServeSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out, errb bytes.Buffer
+	err := run([]string{"-quick", "-serve", "-queries", "48", "-tenants", "3", "-json", jsonPath}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FigServe", "byte-equivalent to serial", "p99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	var rep experiments.ServeReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON artifact: %v", err)
+	}
+	if rep.Queries != 48 || rep.Mismatches != 0 || rep.Tenants != 3 {
+		t.Fatalf("artifact implausible: %+v", rep)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms <= 0 || rep.ThroughputQPS <= 0 {
+		t.Fatalf("artifact missing latency/throughput: %+v", rep)
+	}
+}
+
+func TestBenchServeBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	cases := [][]string{
+		{"-serve", "-obs"},                    // mutually exclusive modes
+		{"-serve", "-jobs", "3"},              // -jobs does not combine
+		{"-queries", "100"},                   // -queries needs -serve
+		{"-tenants", "2"},                     // -tenants needs -serve
+		{"-quick", "-serve", "-queries", "4"}, // below the storm minimum
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command haild runs the resident HAIL query server: one long-lived
+// process owning one filesystem, one shared result cache and one shared
+// adaptive indexer, serving concurrent HTTP queries for many tenants.
+//
+// Usage:
+//
+//	haild -fs /tmp/hailfs [-addr :8648] \
+//	      [-max-in-flight 32] [-queue-timeout 2s] \
+//	      [-cache-budget N] \
+//	      [-offer-rate 0.25] [-adaptive-budget N] [-adaptive-evict] [-heat-decay 1h] \
+//	      [-persist-every 30s] [-parallelism N] \
+//	      [-tenant name:cacheBytes:adaptiveBytes]...
+//
+// Endpoints:
+//
+//	POST /query    {"tenant","file","query","splitting","pack_scans",
+//	                "adaptive","no_cache","row_path","trace","limit"}
+//	GET  /metrics  process metrics registry (JSON; ?format=text for the table)
+//	GET  /trace    retained query traces (?id=N → Chrome trace_event JSON)
+//	GET  /tenants  per-tenant budget ledgers
+//	GET  /healthz  liveness
+//
+// Unlike hailquery (one process per query), haild keeps the cache warm
+// and the adaptive replicas hot across queries and across tenants: the
+// second identical query is served from the shared cache, and indexes
+// built as a by-product of one tenant's queries speed up everyone's.
+// -tenant caps what each named tenant may admit into that shared state
+// (bytes of cache admissions / bytes of triggered adaptive builds; 0
+// means unlimited, and unlisted tenants are unlimited). -max-in-flight
+// plus -queue-timeout bound concurrency: excess queries wait briefly for
+// a slot and are rejected with 429 rather than piling up.
+//
+// The adaptive registry sidecar and the filesystem manifest are persisted
+// every -persist-every (atomically; a kill -9 mid-save never leaves a
+// torn sidecar) and once more on SIGINT/SIGTERM after in-flight requests
+// drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/qcache"
+	"repro/internal/server"
+)
+
+// tenantFlags collects repeated -tenant name:cacheBytes:adaptiveBytes
+// specifications.
+type tenantFlags struct {
+	limits map[string]server.TenantLimits
+}
+
+func (t *tenantFlags) String() string {
+	var parts []string
+	for name, lim := range t.limits {
+		parts = append(parts, fmt.Sprintf("%s:%d:%d", name, lim.CacheBytes, lim.AdaptiveBytes))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return fmt.Errorf("want name:cacheBytes:adaptiveBytes, got %q", v)
+	}
+	cache, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad cacheBytes in %q: %v", v, err)
+	}
+	adaptiveB, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad adaptiveBytes in %q: %v", v, err)
+	}
+	if t.limits == nil {
+		t.limits = make(map[string]server.TenantLimits)
+	}
+	t.limits[parts[0]] = server.TenantLimits{CacheBytes: cache, AdaptiveBytes: adaptiveB}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown <-chan os.Signal) error {
+	fs := flag.NewFlagSet("haild", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fsDir := fs.String("fs", "", "filesystem directory (required)")
+	addr := fs.String("addr", ":8648", "listen address")
+	maxInFlight := fs.Int("max-in-flight", 32, "max concurrently executing queries")
+	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "how long an over-capacity query may wait for a slot before 429")
+	cacheBudget := fs.Int64("cache-budget", qcache.DefaultBudget, "shared result cache byte budget")
+	offerRate := fs.Float64("offer-rate", 0.25, "adaptive: fraction of unindexed blocks converted per adaptive query")
+	adaptiveBudget := fs.Int64("adaptive-budget", 0, "adaptive: global cap on extra replica bytes (0 = unlimited)")
+	adaptiveEvict := fs.Bool("adaptive-evict", false, "adaptive: evict coldest replicas at the budget instead of denying builds")
+	heatDecay := fs.Duration("heat-decay", 0, "adaptive: wall-clock interval per heat-decay step for eviction ranking (0 = off)")
+	persistEvery := fs.Duration("persist-every", 30*time.Second, "period of background manifest+registry persistence (0 = only at shutdown)")
+	parallelism := fs.Int("parallelism", 0, "per-query engine task parallelism (0 = GOMAXPROCS)")
+	nnShards := fs.Int("nn-shards", 0, "namenode directory shards (0 = default)")
+	traceBuffer := fs.Int("trace-buffer", 16, "how many opt-in query traces /trace retains")
+	var tenants tenantFlags
+	fs.Var(&tenants, "tenant", "tenant budget spec name:cacheBytes:adaptiveBytes (repeatable; 0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errUsage
+	}
+	if *fsDir == "" {
+		fs.Usage()
+		return fmt.Errorf("%w: missing required -fs", errUsage)
+	}
+
+	srv, err := server.New(server.Config{
+		FSDir:          *fsDir,
+		NNShards:       *nnShards,
+		MaxInFlight:    *maxInFlight,
+		QueueTimeout:   *queueTimeout,
+		CacheBudget:    *cacheBudget,
+		OfferRate:      *offerRate,
+		AdaptiveBudget: *adaptiveBudget,
+		AdaptiveEvict:  *adaptiveEvict,
+		HeatDecay:      *heatDecay,
+		PersistEvery:   *persistEvery,
+		Parallelism:    *parallelism,
+		Tenants:        tenants.limits,
+		TraceBuffer:    *traceBuffer,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "haild: serving %s on %s\n", *fsDir, ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-shutdown:
+		fmt.Fprintf(stdout, "haild: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := httpSrv.Shutdown(ctx)
+		cancel()
+		if cerr := srv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		fmt.Fprintln(stdout, "haild: stopped")
+		return err
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	}
+}
+
+// errUsage marks usage errors, which exit with status 2 (the Unix
+// convention for bad invocations).
+var errUsage = errors.New("usage")
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	err := run(os.Args[1:], os.Stdout, os.Stderr, nil, sig)
+	if err == nil {
+		return
+	}
+	if err != errUsage {
+		fmt.Fprintf(os.Stderr, "haild: %v\n", err)
+	}
+	if errors.Is(err, errUsage) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}

@@ -156,9 +156,12 @@ type replicaRecord struct {
 	added   bool  // stored as an additional replica (evictable)
 	// Heat: the logical clock (one tick per ObserveJob) of the last job
 	// whose split phase index-scanned this replica, and how often that
-	// happened. Builds count as a touch.
+	// happened. Builds count as a touch. touchedAt is the wall-clock side
+	// of the same stamp, persisted so a long-idle process can decay heat
+	// on restart (heatDecay).
 	lastTouch uint64
 	touches   int
+	touchedAt time.Time
 }
 
 // repID keys the replica registry: one adaptive replica per (block,
@@ -188,6 +191,11 @@ type ReplicaHeat struct {
 	Added     bool
 	Touches   int
 	LastTouch uint64
+	// TouchedAt is the wall-clock time of the last touch. The logical
+	// clock orders replicas within a process lifetime; the wall-clock
+	// stamp is what lets decay see through restarts and idle stretches
+	// (omitted from old registries, in which case no decay applies).
+	TouchedAt time.Time `json:",omitempty"`
 }
 
 // Indexer piggybacks lazy index creation on MapReduce job execution and
@@ -229,6 +237,15 @@ type Indexer struct {
 	// selection's readability guard treats them as already gone.
 	dropping map[dropKey]bool
 	extra    int64 // extra storage consumed so far, against budget
+
+	// heatDecay is the wall-clock interval after which one logical-clock
+	// tick of replica heat evaporates: at eviction time and when adopting
+	// a persisted registry, a replica's effective lastTouch is its stamp
+	// minus one tick per full interval since its wall-clock touch. 0 (the
+	// default) disables decay — ranking is purely logical-clock LRU. now
+	// is the clock source, replaceable for tests (SetClockFunc).
+	heatDecay time.Duration
+	now       func() time.Time
 
 	// om/tr are the observability hooks (BindObs / SetTrace): registry
 	// handles for activity counters and the build-latency histogram, and
@@ -283,6 +300,61 @@ func (i *Indexer) SetEvict(on bool) {
 	i.evict = on
 }
 
+// SetHeatDecay configures wall-clock heat decay: every full interval d
+// since a replica's last wall-clock touch subtracts one logical-clock
+// tick from its effective heat when ranking eviction victims and when
+// adopting a persisted registry. 0 disables decay. Safe to call while
+// jobs run.
+func (i *Indexer) SetHeatDecay(d time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.heatDecay = d
+}
+
+// HeatDecay returns the configured decay interval (0 = disabled).
+func (i *Indexer) HeatDecay() time.Duration {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.heatDecay
+}
+
+// SetClockFunc replaces the wall-clock source used for heat stamps and
+// decay. For tests; nil restores time.Now.
+func (i *Indexer) SetClockFunc(fn func() time.Time) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.now = fn
+}
+
+// nowLocked returns the current wall-clock time from the configured
+// source. Caller holds i.mu.
+func (i *Indexer) nowLocked() time.Time {
+	if i.now != nil {
+		return i.now()
+	}
+	return time.Now()
+}
+
+// decayedTouchLocked returns a replica's effective logical last-touch
+// after wall-clock decay: one tick lost per full heatDecay interval since
+// touchedAt, floored at zero. With decay off, a zero stamp (old
+// registries), or a clock that went backwards, the logical stamp stands.
+// Caller holds i.mu.
+func (i *Indexer) decayedTouchLocked(last uint64, touchedAt time.Time) uint64 {
+	if i.heatDecay <= 0 || touchedAt.IsZero() {
+		return last
+	}
+	age := i.nowLocked().Sub(touchedAt)
+	if age <= 0 {
+		return last
+	}
+	steps := uint64(age / i.heatDecay)
+	if steps >= last {
+		return 0
+	}
+	return last - steps
+}
+
 // EvictEnabled reports whether the eviction policy is on.
 func (i *Indexer) EvictEnabled() bool {
 	i.mu.Lock()
@@ -335,10 +407,12 @@ func (i *Indexer) ObserveJob(file string, column int, indexed, missing []hdfs.Bl
 		i.ledger.RecordMiss(file, b, column)
 	}
 	// Heat: an index-scan split over an adaptive replica is a touch.
+	touchNow := i.nowLocked()
 	for _, b := range indexed {
 		if r, ok := i.replicas[repID{b, column}]; ok && r.file == file {
 			r.lastTouch = i.clock
 			r.touches++
+			r.touchedAt = touchNow
 		}
 	}
 
@@ -488,7 +562,7 @@ func (i *Indexer) Replicas() []ReplicaHeat {
 		out = append(out, ReplicaHeat{
 			File: r.file, Column: r.col, Block: r.block, Node: r.node,
 			Bytes: r.charged, Added: r.added,
-			Touches: r.touches, LastTouch: r.lastTouch,
+			Touches: r.touches, LastTouch: r.lastTouch, TouchedAt: r.touchedAt,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -560,6 +634,10 @@ func (i *Indexer) selectVictimsLocked(requester planKey, need int64) []*replicaR
 		r      *replicaRecord
 		dead   bool
 		misses int
+		// touch is the decay-adjusted lastTouch the ranking uses: with
+		// heat decay configured, a replica untouched for many wall-clock
+		// intervals ranks colder than its logical stamp says.
+		touch uint64
 	}
 	aliveSurvivors := func(r *replicaRecord) int {
 		n := 0
@@ -589,14 +667,14 @@ func (i *Indexer) selectVictimsLocked(requester planKey, need int64) []*replicaR
 		if d, ok := i.ledger.Demand(r.file, r.col); ok {
 			misses = d.Misses
 		}
-		cands = append(cands, cand{r, dead, misses})
+		cands = append(cands, cand{r, dead, misses, i.decayedTouchLocked(r.lastTouch, r.touchedAt)})
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].dead != cands[b].dead {
 			return cands[a].dead // orphans on dead nodes go first
 		}
-		if cands[a].r.lastTouch != cands[b].r.lastTouch {
-			return cands[a].r.lastTouch < cands[b].r.lastTouch
+		if cands[a].touch != cands[b].touch {
+			return cands[a].touch < cands[b].touch
 		}
 		if cands[a].misses != cands[b].misses {
 			return cands[a].misses < cands[b].misses
@@ -884,7 +962,7 @@ func (i *Indexer) buildOne(key planKey, plan *JobPlan, b hdfs.BlockID, near hdfs
 	i.replicas[id] = &replicaRecord{
 		file: file, col: col, block: b, node: target,
 		charged: extraDelta, added: !replace,
-		lastTouch: i.clock, touches: 1,
+		lastTouch: i.clock, touches: 1, touchedAt: i.nowLocked(),
 	}
 	i.ledger.RecordBuilt(file, b, col)
 	i.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // Registry persistence: the lifecycle manager's replica registry — which
@@ -37,31 +38,65 @@ func (i *Indexer) AdoptReplicas(reps []ReplicaHeat) int {
 		if _, dup := i.replicas[id]; dup {
 			continue
 		}
+		// Wall-clock decay on load: a registry saved long ago carries
+		// logical stamps from a workload that may be ancient history. With
+		// decay configured, each full decay interval since the entry's last
+		// wall-clock touch knocks one tick off its logical stamp, so a
+		// week-idle replica adopts as cold even if it was the hottest entry
+		// at save time.
+		last := i.decayedTouchLocked(r.LastTouch, r.TouchedAt)
 		i.replicas[id] = &replicaRecord{
 			file: r.File, col: r.Column, block: r.Block, node: r.Node,
 			charged: r.Bytes, added: r.Added,
-			lastTouch: r.LastTouch, touches: r.Touches,
+			lastTouch: last, touches: r.Touches, touchedAt: r.TouchedAt,
 		}
 		i.extra += r.Bytes
-		if r.LastTouch > i.clock {
-			i.clock = r.LastTouch
+		if last > i.clock {
+			i.clock = last
 		}
 		adopted++
 	}
 	return adopted
 }
 
-// SaveRegistry writes the registry snapshot as JSON to path.
+// SaveRegistry writes the registry snapshot as JSON to path. The write is
+// atomic — data goes to a temp file in the same directory which is then
+// renamed into place — so a crash mid-write leaves either the previous
+// snapshot or the new one, never a torn file.
 func SaveRegistry(path string, reps []ReplicaHeat) error {
 	data, err := json.MarshalIndent(reps, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // LoadRegistry reads a registry snapshot written by SaveRegistry. A
-// missing file is an empty registry, not an error.
+// missing file is an empty registry, not an error — and so is a corrupt
+// or truncated one: the registry is a cache of lifecycle state that
+// AdoptReplicas re-validates against the namenode anyway, so a torn
+// sidecar (pre-atomic-write crash, disk corruption) degrades to a cold
+// start with a warning instead of wedging every subsequent invocation.
 func LoadRegistry(path string) ([]ReplicaHeat, error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -72,7 +107,8 @@ func LoadRegistry(path string) ([]ReplicaHeat, error) {
 	}
 	var reps []ReplicaHeat
 	if err := json.Unmarshal(raw, &reps); err != nil {
-		return nil, fmt.Errorf("adaptive: bad registry %s: %v", path, err)
+		fmt.Fprintf(os.Stderr, "adaptive: ignoring corrupt registry %s: %v\n", path, err)
+		return nil, nil
 	}
 	return reps, nil
 }

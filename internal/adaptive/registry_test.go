@@ -1,0 +1,259 @@
+package adaptive
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hdfs"
+)
+
+// TestSaveRegistryRoundTrip checks the sidecar survives a save/load cycle
+// with the wall-clock stamp intact and leaves no temp-file litter behind.
+func TestSaveRegistryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, RegistryFile)
+	stamp := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	in := []ReplicaHeat{
+		{File: "/t", Column: 2, Block: 3, Node: 1, Bytes: 4096, Added: true,
+			Touches: 7, LastTouch: 9, TouchedAt: stamp},
+	}
+	if err := SaveRegistry(path, in); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic write must not leave its temp file behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != RegistryFile {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("expected only %s in dir, got %v", RegistryFile, names)
+	}
+	out, err := LoadRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d entries, want 1", len(out))
+	}
+	if out[0] != in[0] {
+		t.Fatalf("round trip changed entry: got %+v want %+v", out[0], in[0])
+	}
+	if !out[0].TouchedAt.Equal(stamp) {
+		t.Fatalf("TouchedAt lost: got %v want %v", out[0].TouchedAt, stamp)
+	}
+}
+
+// TestLoadRegistryToleratesTornFile is the crash-safety gate: a corrupt or
+// truncated sidecar (a crash before writes were atomic, or disk damage)
+// must load as an empty registry with a warning, never wedge the caller.
+func TestLoadRegistryToleratesTornFile(t *testing.T) {
+	dir := t.TempDir()
+	good := []ReplicaHeat{{File: "/t", Column: 2, Block: 3, Node: 1, Bytes: 4096}}
+	path := filepath.Join(dir, RegistryFile)
+	if err := SaveRegistry(path, good); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, contents := range map[string][]byte{
+		"truncated": raw[:len(raw)/2],
+		"garbage":   []byte("not json at all\x00\x01"),
+		"empty":     {},
+	} {
+		t.Run(name, func(t *testing.T) {
+			torn := filepath.Join(dir, "torn-"+name+".json")
+			if err := os.WriteFile(torn, contents, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			reps, err := LoadRegistry(torn)
+			if err != nil {
+				t.Fatalf("torn file must not error, got: %v", err)
+			}
+			if len(reps) != 0 {
+				t.Fatalf("torn file must load empty, got %d entries", len(reps))
+			}
+		})
+	}
+	// The intact file still loads.
+	reps, err := LoadRegistry(path)
+	if err != nil || len(reps) != 1 {
+		t.Fatalf("intact registry: got %d entries, err %v", len(reps), err)
+	}
+}
+
+// TestSaveRegistryReplacesAtomically overwrites an existing sidecar and
+// verifies the new contents landed — the rename path, not a fresh create.
+func TestSaveRegistryReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), RegistryFile)
+	if err := SaveRegistry(path, []ReplicaHeat{{File: "/old", Column: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRegistry(path, []ReplicaHeat{{File: "/new", Column: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := LoadRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].File != "/new" {
+		t.Fatalf("overwrite not visible: %+v", reps)
+	}
+	raw, _ := os.ReadFile(path)
+	if strings.Contains(string(raw), "/old") {
+		t.Fatal("old contents survived the overwrite")
+	}
+}
+
+// indexedHost returns a host of block b whose replica carries an index on
+// col, per the namenode directory.
+func indexedHost(t *testing.T, cluster *hdfs.Cluster, b hdfs.BlockID, col int) hdfs.NodeID {
+	t.Helper()
+	nn := cluster.NameNode()
+	for _, h := range nn.GetHosts(b) {
+		if info, ok := nn.ReplicaInfo(b, h); ok && info.HasIndex && info.SortColumn == col {
+			return h
+		}
+	}
+	t.Fatalf("no replica of block %d indexed on column %d", b, col)
+	return 0
+}
+
+// TestAdoptDecaysHeatFromWallClock is the fake-clock restart test: a
+// registry saved with wall-clock stamps is adopted through a decay window,
+// so entries idle for many intervals come back logically colder than
+// fresh ones, regardless of their saved logical stamps.
+func TestAdoptDecaysHeatFromWallClock(t *testing.T) {
+	// Replica 1 of each block is indexed on column 2, so crafted registry
+	// entries for (block, col 2) pass AdoptReplicas' directory validation.
+	cluster, file := upload(t, 4, 700, []int{0, 2})
+	blocks, err := cluster.NameNode().FileBlocks(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 3 {
+		t.Fatalf("need ≥3 blocks, got %d", len(blocks))
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	reps := []ReplicaHeat{
+		// Hot logical stamp, but idle for 8 decay intervals → effective 2.
+		{File: file, Column: 2, Block: blocks[0], Node: indexedHost(t, cluster, blocks[0], 2),
+			Bytes: 100, Added: true, Touches: 10, LastTouch: 10, TouchedAt: now.Add(-8 * time.Hour)},
+		// Cooler logical stamp, touched recently → keeps 5.
+		{File: file, Column: 2, Block: blocks[1], Node: indexedHost(t, cluster, blocks[1], 2),
+			Bytes: 100, Added: true, Touches: 5, LastTouch: 5, TouchedAt: now.Add(-30 * time.Minute)},
+		// Idle past its whole stamp → floors at 0, never underflows.
+		{File: file, Column: 2, Block: blocks[2], Node: indexedHost(t, cluster, blocks[2], 2),
+			Bytes: 100, Added: true, Touches: 3, LastTouch: 3, TouchedAt: now.Add(-100 * time.Hour)},
+	}
+
+	idx := New(cluster, Disabled)
+	idx.SetHeatDecay(time.Hour)
+	idx.SetClockFunc(func() time.Time { return now })
+	if n := idx.AdoptReplicas(reps); n != 3 {
+		t.Fatalf("adopted %d, want 3", n)
+	}
+	got := map[hdfs.BlockID]uint64{}
+	for _, r := range idx.Replicas() {
+		got[r.Block] = r.LastTouch
+	}
+	want := map[hdfs.BlockID]uint64{blocks[0]: 2, blocks[1]: 5, blocks[2]: 0}
+	for b, w := range want {
+		if got[b] != w {
+			t.Errorf("block %d: effective LastTouch = %d, want %d", b, got[b], w)
+		}
+	}
+	// The heat clock fast-forwards past the hottest *effective* stamp.
+	idx.mu.Lock()
+	clock := idx.clock
+	idx.mu.Unlock()
+	if clock != 5 {
+		t.Errorf("clock = %d, want 5 (hottest decayed stamp)", clock)
+	}
+
+	// Without decay configured the logical stamps adopt unchanged — the
+	// pre-existing behaviour (and the path old registries without
+	// TouchedAt always take).
+	plain := New(cluster, Disabled)
+	plain.SetClockFunc(func() time.Time { return now })
+	plain.AdoptReplicas(reps)
+	for _, r := range plain.Replicas() {
+		var orig uint64
+		for _, in := range reps {
+			if in.Block == r.Block {
+				orig = in.LastTouch
+			}
+		}
+		if r.LastTouch != orig {
+			t.Errorf("no-decay adopt changed block %d stamp: %d != %d", r.Block, r.LastTouch, orig)
+		}
+	}
+}
+
+// TestEvictionDecayFlipsVictimOrder drives the eviction ranking with a
+// fake clock: a replica with the hotter logical stamp but a week of
+// wall-clock idleness must be retired before a logically-cooler replica
+// touched minutes ago — and without decay the order is the old pure-LRU
+// one.
+func TestEvictionDecayFlipsVictimOrder(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	setup := func(t *testing.T, decay time.Duration) (*Indexer, hdfs.BlockID, hdfs.BlockID) {
+		cluster, file := upload(t, 4, 700, []int{0, -1})
+		blocks, err := cluster.NameNode().FileBlocks(file)
+		if err != nil || len(blocks) < 2 {
+			t.Fatalf("blocks: %v err %v", blocks, err)
+		}
+		idx := New(cluster, Disabled)
+		idx.SetClockFunc(func() time.Time { return now })
+		idx.SetHeatDecay(decay)
+		idx.mu.Lock()
+		idx.clock = 20
+		// Stale by the wall clock, hot by the logical clock.
+		idx.replicas[repID{blocks[0], 5}] = &replicaRecord{
+			file: file, col: 5, block: blocks[0], node: 3, charged: 100, added: true,
+			lastTouch: 10, touches: 10, touchedAt: now.Add(-9 * time.Hour),
+		}
+		// Fresh by the wall clock, cooler by the logical clock.
+		idx.replicas[repID{blocks[1], 5}] = &replicaRecord{
+			file: file, col: 5, block: blocks[1], node: 3, charged: 100, added: true,
+			lastTouch: 5, touches: 5, touchedAt: now.Add(-time.Minute),
+		}
+		idx.extra = 200
+		idx.mu.Unlock()
+		return idx, blocks[0], blocks[1]
+	}
+	victimOf := func(t *testing.T, idx *Indexer) hdfs.BlockID {
+		t.Helper()
+		idx.mu.Lock()
+		victims := idx.selectVictimsLocked(planKey{"/t", 9}, 100)
+		idx.mu.Unlock()
+		if len(victims) != 1 {
+			t.Fatalf("selected %d victims, want 1", len(victims))
+		}
+		return victims[0].block
+	}
+
+	t.Run("decay", func(t *testing.T) {
+		idx, stale, _ := setup(t, time.Hour)
+		// Effective heat: stale 10−9=1, fresh 5−0=5 → the wall-clock-stale
+		// replica goes first despite its hotter logical stamp.
+		if got := victimOf(t, idx); got != stale {
+			t.Fatalf("victim = block %d, want wall-clock-stale block %d", got, stale)
+		}
+	})
+	t.Run("no-decay", func(t *testing.T) {
+		idx, _, fresh := setup(t, 0)
+		// Pure logical LRU: the lower stamp (5) loses, as before.
+		if got := victimOf(t, idx); got != fresh {
+			t.Fatalf("victim = block %d, want logically-cooler block %d", got, fresh)
+		}
+	})
+}

@@ -68,9 +68,21 @@ type InputFormat struct {
 	// -row-path), not asserted.
 	RowPath bool
 
-	// nnOps counts the namenode directory lookups of the most recent
-	// Splits call; SplitPhaseStats reports it. Accessed atomically (plain
-	// int64 keeps the struct copyable for literal construction).
+	// nnOps holds the namenode-lookup count of the most recent Splits
+	// call, for the legacy SplitPhaseStats accessor. Counting itself
+	// happens on a per-call splitPlanner, so concurrent Splits calls on a
+	// shared InputFormat never corrupt each other's totals; this field is
+	// only the last call's published result (atomic: last writer wins).
+	nnOps int64
+}
+
+// splitPlanner carries one Splits call's state — today just the namenode
+// lookup counter. Every call gets a fresh planner, which is what makes a
+// single InputFormat shareable across concurrent jobs: the split phase
+// itself is pure directory reads, and the one mutable accumulator lives
+// here instead of on the shared struct.
+type splitPlanner struct {
+	*InputFormat
 	nnOps int64
 }
 
@@ -88,13 +100,13 @@ type AdaptiveObserver interface {
 // filter column is returned even when no block is indexed on it — the
 // attribute the adaptive layer will build toward. Returns -1 when there
 // is no filter (or, without fallback, no match).
-func (f *InputFormat) pickColumn(blocks []hdfs.BlockID, fallback bool) int {
+func (f *splitPlanner) pickColumn(blocks []hdfs.BlockID, fallback bool) int {
 	if f.Query == nil || len(f.Query.Filter) == 0 || len(blocks) == 0 {
 		return -1
 	}
 	for _, p := range f.Query.Filter {
 		for _, b := range blocks {
-			atomic.AddInt64(&f.nnOps, 1)
+			f.nnOps++
 			if len(f.Cluster.NameNode().GetHostsWithIndex(b, p.Column)) > 0 {
 				return p.Column
 			}
@@ -108,7 +120,7 @@ func (f *InputFormat) pickColumn(blocks []hdfs.BlockID, fallback bool) int {
 
 // indexColumn is the static policy: probe only the first block (every
 // block of a statically-uploaded file has the same layout).
-func (f *InputFormat) indexColumn(blocks []hdfs.BlockID) int {
+func (f *splitPlanner) indexColumn(blocks []hdfs.BlockID) int {
 	if len(blocks) > 1 {
 		blocks = blocks[:1]
 	}
@@ -124,8 +136,8 @@ func (f *InputFormat) indexColumn(blocks []hdfs.BlockID) int {
 // replicas (and any future multi-writer path) leak arrival order into
 // replica pinning — sorting makes Replica[b] = hosts[0] a pure function
 // of the directory's contents.
-func (f *InputFormat) splitIndexedHosts(b hdfs.BlockID, col int) (alive, dead []hdfs.NodeID) {
-	atomic.AddInt64(&f.nnOps, 1)
+func (f *splitPlanner) splitIndexedHosts(b hdfs.BlockID, col int) (alive, dead []hdfs.NodeID) {
+	f.nnOps++
 	for _, h := range f.Cluster.NameNode().GetHostsWithIndex(b, col) {
 		if dn, err := f.Cluster.DataNode(h); err == nil && dn.Alive() {
 			alive = append(alive, h)
@@ -144,8 +156,8 @@ func (f *InputFormat) splitIndexedHosts(b hdfs.BlockID, col int) (alive, dead []
 // schedules availability-only and the read fails honestly — but a block
 // with any alive replica never hands the engine a dead-only location
 // list (the scan-split counterpart of splitIndexedHosts' liveness rule).
-func (f *InputFormat) scanHosts(b hdfs.BlockID) []hdfs.NodeID {
-	atomic.AddInt64(&f.nnOps, 1)
+func (f *splitPlanner) scanHosts(b hdfs.BlockID) []hdfs.NodeID {
+	f.nnOps++
 	hosts := f.Cluster.NameNode().GetHosts(b)
 	alive := make([]hdfs.NodeID, 0, len(hosts))
 	for _, h := range hosts {
@@ -164,7 +176,7 @@ func (f *InputFormat) scanHosts(b hdfs.BlockID) []hdfs.NodeID {
 // located on) a dead node is a promise the engine cannot keep, and a
 // block whose matching replicas are all unreachable degrades to a scan
 // split — the same call the adaptive path's partitionByIndex makes.
-func (f *InputFormat) indexedHosts(b hdfs.BlockID, col int) []hdfs.NodeID {
+func (f *splitPlanner) indexedHosts(b hdfs.BlockID, col int) []hdfs.NodeID {
 	alive, _ := f.splitIndexedHosts(b, col)
 	return alive
 }
@@ -174,7 +186,7 @@ func (f *InputFormat) indexedHosts(b hdfs.BlockID, col int) []hdfs.NodeID {
 // its new indexes) and fall back to the first filter column — the
 // attribute the job actually needs, which the adaptive indexer will
 // start building.
-func (f *InputFormat) adaptiveTarget(blocks []hdfs.BlockID) int {
+func (f *splitPlanner) adaptiveTarget(blocks []hdfs.BlockID) int {
 	return f.pickColumn(blocks, true)
 }
 
@@ -184,7 +196,7 @@ func (f *InputFormat) adaptiveTarget(blocks []hdfs.BlockID) int {
 // only matching replica is unreachable degrades to a full scan at read
 // time, so the adaptive layer must treat it as missing and rebuild the
 // index on a surviving node.
-func (f *InputFormat) partitionByIndex(blocks []hdfs.BlockID, col int) (indexed, missing []hdfs.BlockID) {
+func (f *splitPlanner) partitionByIndex(blocks []hdfs.BlockID, col int) (indexed, missing []hdfs.BlockID) {
 	for _, b := range blocks {
 		if alive, _ := f.splitIndexedHosts(b, col); len(alive) > 0 {
 			indexed = append(indexed, b)
@@ -195,30 +207,52 @@ func (f *InputFormat) partitionByIndex(blocks []hdfs.BlockID, col int) (indexed,
 	return indexed, missing
 }
 
-// Splits implements the split phase (§4.3).
+// Splits implements the split phase (§4.3). The stats of the call are
+// published for SplitPhaseStats; callers running concurrent jobs over one
+// shared InputFormat should use SplitsWithStats, whose per-call stats
+// cannot be clobbered by an overlapping call.
 func (f *InputFormat) Splits(file string) ([]mapred.Split, error) {
-	atomic.StoreInt64(&f.nnOps, 1) // the FileBlocks lookup below
-	blocks, err := f.Cluster.NameNode().FileBlocks(file)
+	splits, stats, err := f.SplitsWithStats(file)
 	if err != nil {
 		return nil, err
 	}
-	col := f.indexColumn(blocks)
+	atomic.StoreInt64(&f.nnOps, int64(stats.NameNodeOps))
+	return splits, nil
+}
+
+// SplitsWithStats implements mapred.StatsInputFormat: the split phase
+// plus that call's own stats. All mutable split-phase state lives on a
+// per-call planner, so one InputFormat value may serve any number of
+// concurrent jobs.
+func (f *InputFormat) SplitsWithStats(file string) ([]mapred.Split, mapred.TaskStats, error) {
+	p := &splitPlanner{InputFormat: f, nnOps: 1} // 1: the FileBlocks lookup below
+	blocks, err := f.Cluster.NameNode().FileBlocks(file)
+	if err != nil {
+		return nil, mapred.TaskStats{}, err
+	}
+	col := p.indexColumn(blocks)
 	if f.Adaptive != nil {
 		if col < 0 {
-			col = f.adaptiveTarget(blocks)
+			col = p.adaptiveTarget(blocks)
 		}
 		if col >= 0 {
-			indexed, missing := f.partitionByIndex(blocks, col)
+			indexed, missing := p.partitionByIndex(blocks, col)
 			f.Adaptive.ObserveJob(file, col, indexed, missing)
 		}
 	}
-	if col < 0 {
-		return f.scanSplits(blocks), nil
+	var splits []mapred.Split
+	switch {
+	case col < 0:
+		splits = p.scanSplits(blocks)
+	case !f.Splitting:
+		splits = p.perBlockIndexSplits(blocks, col)
+	default:
+		splits, err = p.hailSplits(blocks, col)
+		if err != nil {
+			return nil, mapred.TaskStats{}, err
+		}
 	}
-	if !f.Splitting {
-		return f.perBlockIndexSplits(blocks, col), nil
-	}
-	return f.hailSplits(blocks, col)
+	return splits, mapred.TaskStats{NameNodeOps: int(p.nnOps)}, nil
 }
 
 // SplitPhaseStats: HAIL's split phase needs no block-header reads — all
@@ -236,7 +270,7 @@ func (f *InputFormat) SplitPhaseStats() mapred.TaskStats {
 // cachedAliveReplica is the packing probe for fully-cached blocks: the
 // replica node the result cache holds this block's output at, provided
 // packing is on, the probe is wired, and that node is alive.
-func (f *InputFormat) cachedAliveReplica(b hdfs.BlockID) (hdfs.NodeID, bool) {
+func (f *splitPlanner) cachedAliveReplica(b hdfs.BlockID) (hdfs.NodeID, bool) {
 	if !f.PackScans || f.CachedReplica == nil {
 		return 0, false
 	}
@@ -253,7 +287,7 @@ func (f *InputFormat) cachedAliveReplica(b hdfs.BlockID) (hdfs.NodeID, bool) {
 // scanSplits is the standard Hadoop fallback for blocks with no usable
 // index: one split per block located at the block's alive replicas — or,
 // with PackScans, SplitsPerNode packed splits per preferred node.
-func (f *InputFormat) scanSplits(blocks []hdfs.BlockID) []mapred.Split {
+func (f *splitPlanner) scanSplits(blocks []hdfs.BlockID) []mapred.Split {
 	if f.PackScans {
 		return f.packScanSplits(blocks)
 	}
@@ -284,7 +318,7 @@ func (f *InputFormat) scanSplits(blocks []hdfs.BlockID) []mapred.Split {
 // policy. Cache-pinned blocks never move (moving would forfeit the hit)
 // but pre-charge their node's share so spillable blocks route around hot
 // cached nodes.
-func (f *InputFormat) packScanSplits(blocks []hdfs.BlockID) []mapred.Split {
+func (f *splitPlanner) packScanSplits(blocks []hdfs.BlockID) []mapred.Split {
 	type looseSplit struct {
 		block hdfs.BlockID
 		hosts []hdfs.NodeID
@@ -370,7 +404,7 @@ func (f *InputFormat) packScanSplits(blocks []hdfs.BlockID) []mapred.Split {
 // replica with the matching index. With PackScans, the blocks that would
 // fall back to per-block scans — and fully-cached blocks, whose work is
 // already done wherever their index lives — are packed instead.
-func (f *InputFormat) perBlockIndexSplits(blocks []hdfs.BlockID, col int) []mapred.Split {
+func (f *splitPlanner) perBlockIndexSplits(blocks []hdfs.BlockID, col int) []mapred.Split {
 	splits := make([]mapred.Split, 0, len(blocks))
 	var packable []hdfs.BlockID
 	for _, b := range blocks {
@@ -408,7 +442,7 @@ func (f *InputFormat) perBlockIndexSplits(blocks []hdfs.BlockID, col int) []mapr
 // node with every block pinned to its group node — the split shape shared
 // by hailSplits (§4.3) and packScanSplits. Split order is deterministic:
 // ascending node ID, then stride.
-func (f *InputFormat) packGroups(groups map[hdfs.NodeID][]hdfs.BlockID) []mapred.Split {
+func (f *splitPlanner) packGroups(groups map[hdfs.NodeID][]hdfs.BlockID) []mapred.Split {
 	perNode := f.SplitsPerNode
 	if perNode <= 0 {
 		perNode = 2
@@ -444,7 +478,7 @@ func (f *InputFormat) packGroups(groups map[hdfs.NodeID][]hdfs.BlockID) []mapred
 // hailSplits implements HailSplitting (§4.3): cluster the blocks of the
 // input by locality — the node holding the replica with the matching index
 // — then create SplitsPerNode splits per cluster.
-func (f *InputFormat) hailSplits(blocks []hdfs.BlockID, col int) ([]mapred.Split, error) {
+func (f *splitPlanner) hailSplits(blocks []hdfs.BlockID, col int) ([]mapred.Split, error) {
 	groups := make(map[hdfs.NodeID][]hdfs.BlockID)
 	var scanBlocks []hdfs.BlockID
 	for _, b := range blocks {

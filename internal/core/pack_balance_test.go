@@ -37,7 +37,7 @@ func TestPackScanSplitsBalanceSkewedPlacement(t *testing.T) {
 	const nodes, nBlocks = 8, 32
 	cluster, blocks := skewedFixture(t, nodes, nBlocks)
 	f := &InputFormat{Cluster: cluster, PackScans: true, SplitsPerNode: 2}
-	splits := f.packScanSplits(blocks)
+	splits := (&splitPlanner{InputFormat: f}).packScanSplits(blocks)
 	assertCoverage(t, splits, blocks)
 	assertAliveLocations(t, cluster, splits)
 
@@ -77,7 +77,7 @@ func TestPackScanSplitsBalanceSkewedPlacement(t *testing.T) {
 	}
 
 	// Deterministic: identical cluster state must yield identical splits.
-	again := f.packScanSplits(blocks)
+	again := (&splitPlanner{InputFormat: f}).packScanSplits(blocks)
 	if !reflect.DeepEqual(splits, again) {
 		t.Error("packScanSplits is not deterministic across calls")
 	}
@@ -99,7 +99,7 @@ func TestPackScanSplitsSingleHolderExceedsCap(t *testing.T) {
 		blocks = append(blocks, id)
 	}
 	f := &InputFormat{Cluster: cluster, PackScans: true, SplitsPerNode: 2}
-	splits := f.packScanSplits(blocks)
+	splits := (&splitPlanner{InputFormat: f}).packScanSplits(blocks)
 	assertCoverage(t, splits, blocks)
 	for _, s := range splits {
 		if s.Locations[0] != 2 {
@@ -129,7 +129,7 @@ func TestPackScanSplitsEvenPlacementUnchanged(t *testing.T) {
 		blocks = append(blocks, id)
 	}
 	f := &InputFormat{Cluster: cluster, PackScans: true, SplitsPerNode: 2}
-	splits := f.packScanSplits(blocks)
+	splits := (&splitPlanner{InputFormat: f}).packScanSplits(blocks)
 	assertCoverage(t, splits, blocks)
 	for _, s := range splits {
 		for _, b := range s.Blocks {

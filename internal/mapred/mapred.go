@@ -233,6 +233,16 @@ type InputFormat interface {
 	SplitPhaseStats() TaskStats
 }
 
+// StatsInputFormat is the concurrency-safe split phase: SplitsWithStats
+// returns the splits together with that call's own stats, so one input
+// format instance can serve overlapping jobs without the Splits /
+// SplitPhaseStats pair racing (a shared per-instance accumulator read
+// after a concurrent call reset it reports garbage). The engine prefers
+// this interface when the job's input implements it.
+type StatsInputFormat interface {
+	SplitsWithStats(file string) ([]Split, TaskStats, error)
+}
+
 // RecordReader iterates the records of one split, invoking fn for each.
 // Implementations must accumulate their real I/O into the returned stats.
 type RecordReader interface {

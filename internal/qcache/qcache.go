@@ -214,6 +214,16 @@ func entryBytes(k mapred.CacheKey, kvs []mapred.KV) int64 {
 	return n
 }
 
+// EntryCost is the budget charge Put would levy for this entry — exported
+// so admission layers above the cache (per-tenant budget ledgers) account
+// in exactly the cache's own currency.
+func EntryCost(k mapred.CacheKey, kvs []mapred.KV) int64 { return entryBytes(k, kvs) }
+
+// SplitEntryCost is EntryCost for a packed-split entry (PutSplit).
+func SplitEntryCost(k mapred.SplitCacheKey, blocks int, kvs []mapred.KV) int64 {
+	return splitEntryBytes(k, blocks, kvs)
+}
+
 // Get returns the cached map output for the key. On a hit the entry is
 // promoted (probation → protected, or refreshed within protected). The
 // returned slice is shared and must be treated as read-only.

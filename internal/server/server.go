@@ -1,0 +1,614 @@
+// Package server implements haild's resident query service: one process
+// owning one hdfs.Cluster, one shared qcache.Cache and one shared
+// adaptive.Indexer, serving concurrent HTTP queries on top of them.
+//
+// Shared-state ownership is deliberately asymmetric. The cluster, cache,
+// indexer and metrics registry are process-wide singletons — every query
+// of every tenant reads and warms the same cache and benefits from (and
+// pays for) the same adaptive replicas. Everything with per-job state is
+// constructed fresh per query: the core.InputFormat (split-phase stats
+// are per call), the mapred.Engine value (its Cache/PostTask wiring is
+// per-tenant), and the optional obs.Trace. Admission control bounds the
+// queries in flight (a bounded semaphore with a queue timeout; excess
+// load gets 429 instead of an unbounded goroutine pile-up), and
+// per-tenant ledgers cap how many bytes each tenant may admit into the
+// shared cache and trigger as adaptive storage.
+//
+// The adaptive registry sidecar is persisted periodically and on Close —
+// atomically, via adaptive.SaveRegistry's temp+rename — and re-validated
+// against the namenode on load, so a crashed or restarted server resumes
+// with exactly the replicas the directory still confirms.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/obs"
+	"repro/internal/pax"
+	"repro/internal/qcache"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// Config configures a Server.
+type Config struct {
+	// FSDir is the HAIL filesystem directory (hailload's output).
+	FSDir string
+	// NNShards is the namenode shard count passed to hdfs.LoadShards
+	// (0 = default).
+	NNShards int
+
+	// MaxInFlight bounds concurrently executing queries; further requests
+	// queue up to QueueTimeout and are then rejected with 429. 0 defaults
+	// to 32.
+	MaxInFlight int
+	// QueueTimeout is how long an admitted-over-capacity request may wait
+	// for a slot. 0 defaults to 2s.
+	QueueTimeout time.Duration
+
+	// CacheBudget is the shared result cache's byte budget (0 defaults to
+	// qcache.DefaultBudget).
+	CacheBudget int64
+	// OfferRate is the shared adaptive indexer's offer rate (0 selects
+	// adaptive.DefaultOfferRate, negative disables builds). Queries opt
+	// into adaptive execution per request.
+	OfferRate float64
+	// AdaptiveBudget / AdaptiveEvict configure the indexer's global
+	// extra-storage cap and eviction policy.
+	AdaptiveBudget int64
+	AdaptiveEvict  bool
+	// HeatDecay is the indexer's wall-clock heat decay interval (0 = off).
+	HeatDecay time.Duration
+
+	// PersistEvery is the period of the background persistence loop
+	// (cluster manifest + adaptive registry sidecar); 0 disables periodic
+	// persistence (Close still persists once).
+	PersistEvery time.Duration
+
+	// Parallelism is each query's engine task parallelism (0 =
+	// GOMAXPROCS).
+	Parallelism int
+
+	// Tenants maps tenant names to their budgets; tenants not listed get
+	// DefaultLimits (zero value: unlimited).
+	Tenants       map[string]TenantLimits
+	DefaultLimits TenantLimits
+
+	// TraceBuffer is how many opt-in query traces /trace retains (ring
+	// buffer; 0 defaults to 16).
+	TraceBuffer int
+}
+
+// Server is the resident query service. Create with New, serve Handler(),
+// Close to persist and stop background work.
+type Server struct {
+	cfg     Config
+	cluster *hdfs.Cluster
+	cache   *qcache.Cache
+	idx     *adaptive.Indexer
+	reg     *obs.Registry
+	tenants *tenantTable
+	mux     *http.ServeMux
+
+	sem chan struct{} // admission semaphore: buffered to MaxInFlight
+
+	schemaMu sync.Mutex
+	schemas  map[string]*schema.Schema
+
+	traceMu   sync.Mutex
+	traces    []storedTrace
+	nextTrace int
+
+	persistMu sync.Mutex // serializes persist() against itself
+	stop      chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type storedTrace struct {
+	ID     int    `json:"id"`
+	Tenant string `json:"tenant"`
+	File   string `json:"file"`
+	Query  string `json:"query"`
+	Spans  int    `json:"spans"`
+	tr     *obs.Trace
+}
+
+// New loads the filesystem, builds the shared stack (cache, indexer,
+// metrics registry), adopts the persisted adaptive registry, and starts
+// the periodic persistence loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.FSDir == "" {
+		return nil, fmt.Errorf("server: FSDir is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 32
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 2 * time.Second
+	}
+	if cfg.CacheBudget <= 0 {
+		cfg.CacheBudget = qcache.DefaultBudget
+	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = 16
+	}
+	cluster, err := hdfs.LoadShards(cfg.FSDir, cfg.NNShards)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading filesystem: %v", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		cluster:  cluster,
+		cache:    qcache.New(cfg.CacheBudget),
+		idx:      adaptive.New(cluster, cfg.OfferRate),
+		reg:      obs.NewRegistry(),
+		tenants:  newTenantTable(cfg.Tenants, cfg.DefaultLimits),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		schemas:  make(map[string]*schema.Schema),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	s.idx.SetBudgetBytes(cfg.AdaptiveBudget)
+	s.idx.SetEvict(cfg.AdaptiveEvict)
+	s.idx.SetHeatDecay(cfg.HeatDecay)
+	// Replica changes (adaptive builds/evictions, node loss) purge the
+	// affected cache entries; the shared indexer re-adopts what earlier
+	// processes built, re-validated against the directory.
+	cluster.NameNode().SetReplicaChangeHook(s.cache.InvalidateBlock)
+	reps, err := adaptive.LoadRegistry(filepath.Join(cfg.FSDir, adaptive.RegistryFile))
+	if err != nil {
+		return nil, err
+	}
+	s.idx.AdoptReplicas(reps)
+
+	cluster.NameNode().BindObs(s.reg)
+	s.cache.BindObs(s.reg)
+	s.idx.BindObs(s.reg)
+	s.reg.SetGaugeFunc("server.in_flight", func() int64 { return int64(len(s.sem)) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /tenants", s.handleTenants)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+
+	go s.persistLoop()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's process-wide metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Indexer returns the shared adaptive indexer (for reports and tests).
+func (s *Server) Indexer() *adaptive.Indexer { return s.idx }
+
+// CacheStats returns the shared result cache's counters.
+func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// persistLoop periodically saves the cluster manifest and the adaptive
+// registry sidecar, so a crash loses at most one period of lifecycle
+// state. Saves are incremental (dirty-block tracking in hdfs) and the
+// sidecar write is atomic, so the loop is safe to run while queries
+// execute and adaptive builds land.
+func (s *Server) persistLoop() {
+	defer close(s.loopDone)
+	if s.cfg.PersistEvery <= 0 {
+		<-s.stop
+		return
+	}
+	t := time.NewTicker(s.cfg.PersistEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.persist(); err != nil {
+				s.reg.Counter("server.persist_errors").Inc()
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// persist saves the cluster (new adaptive replicas, dropped replicas) and
+// the registry sidecar.
+func (s *Server) persist() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if err := s.cluster.Save(s.cfg.FSDir); err != nil {
+		return fmt.Errorf("server: saving filesystem: %v", err)
+	}
+	if err := adaptive.SaveRegistry(filepath.Join(s.cfg.FSDir, adaptive.RegistryFile), s.idx.Replicas()); err != nil {
+		return fmt.Errorf("server: saving adaptive registry: %v", err)
+	}
+	s.reg.Counter("server.persists").Inc()
+	return nil
+}
+
+// Close stops the persistence loop and performs a final persist. Safe to
+// call more than once; callers should drain HTTP traffic first
+// (http.Server.Shutdown).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		<-s.loopDone
+		s.closeErr = s.persist()
+	})
+	return s.closeErr
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Tenant attributes the query to a budget ledger; empty means the
+	// "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// File is the HAIL file to query; Query is the @HailQuery annotation.
+	File  string `json:"file"`
+	Query string `json:"query"`
+	// Execution knobs, mirroring hailquery's flags. The result cache is
+	// on by default (it is the point of a resident server); NoCache opts
+	// one query out. Adaptive indexing is opt-in per query and runs
+	// against the shared indexer.
+	Splitting bool `json:"splitting,omitempty"`
+	PackScans bool `json:"pack_scans,omitempty"`
+	Adaptive  bool `json:"adaptive,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+	RowPath   bool `json:"row_path,omitempty"`
+	// Trace records this query's span tree into the /trace ring buffer.
+	Trace bool `json:"trace,omitempty"`
+	// Limit caps the rows returned (0 = all).
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse is the POST /query result.
+type QueryResponse struct {
+	Tenant          string   `json:"tenant"`
+	Rows            []string `json:"rows"`
+	RowCount        int      `json:"row_count"`
+	Tasks           int      `json:"tasks"`
+	IndexScans      int      `json:"index_scans"`
+	FullScans       int      `json:"full_scans"`
+	BlocksFromCache int      `json:"blocks_from_cache"`
+	BytesRead       int64    `json:"bytes_read"`
+	NameNodeOps     int      `json:"namenode_ops"`
+	AdaptiveBuilt   int      `json:"adaptive_built,omitempty"`
+	AdaptiveDenied  bool     `json:"adaptive_denied,omitempty"`
+	TraceID         int      `json:"trace_id,omitempty"`
+	LatencyMS       float64  `json:"latency_ms"`
+}
+
+// httpError is a handler error with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// handleQuery admits the request through the bounded in-flight semaphore
+// and executes it. Over capacity, the request waits up to QueueTimeout
+// for a slot and is rejected with 429 otherwise — backpressure instead of
+// an unbounded pile-up.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	waitStart := time.Now()
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	select {
+	case s.sem <- struct{}{}:
+		timer.Stop()
+	case <-timer.C:
+		s.reg.Counter("server.rejected").Inc()
+		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		return
+	case <-r.Context().Done():
+		timer.Stop()
+		s.reg.Counter("server.abandoned").Inc()
+		return
+	}
+	s.reg.Histogram("server.queue_wait_seconds").Observe(time.Since(waitStart))
+	defer func() { <-s.sem }()
+
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.runQuery(&req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if he, ok := err.(*httpError); ok {
+			status = he.status
+		}
+		s.reg.Counter("server.query_errors").Inc()
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// fileSchema reads (and caches) a file's schema from its first block —
+// every HAIL block carries the schema in its metadata.
+func (s *Server) fileSchema(file string) (*schema.Schema, error) {
+	s.schemaMu.Lock()
+	sch, ok := s.schemas[file]
+	s.schemaMu.Unlock()
+	if ok {
+		return sch, nil
+	}
+	blocks, err := s.cluster.NameNode().FileBlocks(file)
+	if err != nil {
+		return nil, &httpError{http.StatusNotFound, err.Error()}
+	}
+	if len(blocks) == 0 {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("file %s has no blocks", file)}
+	}
+	data, _, err := s.cluster.ReadBlockAny(blocks[0], 0)
+	if err != nil {
+		return nil, err
+	}
+	paxData, _, err := core.ParseFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := pax.NewReader(paxData)
+	if err != nil {
+		return nil, err
+	}
+	sch = rd.Schema()
+	s.schemaMu.Lock()
+	s.schemas[file] = sch
+	s.schemaMu.Unlock()
+	return sch, nil
+}
+
+// adaptiveTap records which (file, column) stream this query's split
+// phase observed, so the query's adaptive build volume can be read back
+// from the shared indexer's per-stream plan and charged to the tenant.
+type adaptiveTap struct {
+	inner core.AdaptiveObserver
+	mu    sync.Mutex
+	file  string
+	col   int
+	seen  bool
+}
+
+func (t *adaptiveTap) ObserveJob(file string, column int, indexed, missing []hdfs.BlockID) {
+	t.mu.Lock()
+	t.file, t.col, t.seen = file, column, true
+	t.mu.Unlock()
+	t.inner.ObserveJob(file, column, indexed, missing)
+}
+
+// runQuery executes one admitted query on a fresh engine + input format
+// over the shared stack.
+func (s *Server) runQuery(req *QueryRequest) (*QueryResponse, error) {
+	if req.File == "" || req.Query == "" {
+		return nil, &httpError{http.StatusBadRequest, "file and query are required"}
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	ts := s.tenants.get(tenant)
+	ts.queries.Add(1)
+
+	sch, err := s.fileSchema(req.File)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.ParseAnnotation(sch, req.Query)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+
+	// Fresh per query: the input format (split-phase stats live on the
+	// call, but Adaptive/CachedReplica wiring is per-request) and the
+	// engine value (Cache and PostTask are per-tenant / per-request).
+	// Shared: cluster, cache, indexer, registry.
+	input := &core.InputFormat{
+		Cluster:   s.cluster,
+		Query:     q,
+		Splitting: req.Splitting,
+		PackScans: req.PackScans,
+		RowPath:   req.RowPath,
+	}
+	engine := &mapred.Engine{
+		Cluster:     s.cluster,
+		Parallelism: s.cfg.Parallelism,
+		Obs:         s.reg,
+	}
+	if !req.NoCache {
+		engine.Cache = tenantCache{shared: s.cache, ts: ts}
+		if req.PackScans {
+			if sig, ok := input.QuerySignature(); ok {
+				nn := s.cluster.NameNode()
+				file := req.File
+				input.CachedReplica = func(b hdfs.BlockID) (hdfs.NodeID, bool) {
+					return s.cache.CachedReplica(file, b, nn.Generation(b), sig, workload.PassthroughMapSig)
+				}
+			}
+		}
+	}
+	var tap *adaptiveTap
+	adaptiveDenied := false
+	if req.Adaptive {
+		if ts.adaptiveAllowed() {
+			tap = &adaptiveTap{inner: s.idx}
+			input.Adaptive = tap
+			engine.PostTask = s.idx.AfterTask
+		} else {
+			adaptiveDenied = true
+			ts.adaptiveDenied.Add(1)
+			s.reg.Counter("server.adaptive_denied").Inc()
+		}
+	}
+	// The trace rides on the job (split planning, tasks, cache probes).
+	// The shared indexer's trace hook is deliberately NOT wired: it is a
+	// process-wide setter, and two concurrent traced queries would clobber
+	// each other's span sinks mid-build.
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace("haild:" + tenant)
+	}
+
+	start := time.Now()
+	res, err := engine.Run(&mapred.Job{
+		Name:   "haild:" + tenant,
+		File:   req.File,
+		Input:  input,
+		Map:    workload.PassthroughMap,
+		MapSig: workload.PassthroughMapSig,
+		Trace:  tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dur := time.Since(start)
+	s.reg.Counter("server.queries").Inc()
+	s.reg.Histogram("server.query_seconds").Observe(dur)
+	s.reg.Histogram("server.tenant." + tenant + ".query_seconds").Observe(dur)
+
+	resp := &QueryResponse{
+		Tenant:         tenant,
+		RowCount:       len(res.Output),
+		Tasks:          len(res.Tasks),
+		NameNodeOps:    res.SplitPhase.NameNodeOps,
+		AdaptiveDenied: adaptiveDenied,
+		LatencyMS:      float64(dur) / 1e6,
+	}
+	st := res.TotalStats()
+	resp.IndexScans = st.IndexScans
+	resp.FullScans = st.FullScans
+	resp.BlocksFromCache = st.BlocksFromCache
+	resp.BytesRead = st.BytesRead
+	rows := make([]string, 0, len(res.Output))
+	for i, kv := range res.Output {
+		if req.Limit > 0 && i >= req.Limit {
+			break
+		}
+		rows = append(rows, kv.Key)
+	}
+	resp.Rows = rows
+
+	if tap != nil {
+		tap.mu.Lock()
+		file, col, seen := tap.file, tap.col, tap.seen
+		tap.mu.Unlock()
+		if seen {
+			if plan, ok := s.idx.Plan(file, col); ok {
+				resp.AdaptiveBuilt = plan.Built
+				// Charge the stream's build volume to this tenant. Under
+				// concurrent same-(file, column) queries from different
+				// tenants the per-stream plan is shared, so attribution is
+				// approximate — bounded by one job's builds either way.
+				if plan.StoredBytes > 0 {
+					ts.adaptiveCharged.Add(plan.StoredBytes)
+				}
+			}
+			if err := s.idx.StreamErr(file, col); err != nil {
+				s.reg.Counter("server.adaptive_errors").Inc()
+			}
+		}
+	}
+	if tr != nil {
+		resp.TraceID = s.storeTrace(tr, tenant, req)
+	}
+	return resp, nil
+}
+
+// storeTrace appends a finished query trace to the /trace ring buffer and
+// returns its id.
+func (s *Server) storeTrace(tr *obs.Trace, tenant string, req *QueryRequest) int {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.nextTrace++
+	st := storedTrace{
+		ID:     s.nextTrace,
+		Tenant: tenant,
+		File:   req.File,
+		Query:  req.Query,
+		Spans:  len(tr.SpanInfos()),
+		tr:     tr,
+	}
+	s.traces = append(s.traces, st)
+	if len(s.traces) > s.cfg.TraceBuffer {
+		s.traces = s.traces[len(s.traces)-s.cfg.TraceBuffer:]
+	}
+	return st.ID
+}
+
+// handleMetrics serves the process registry: JSON snapshot by default,
+// the human-readable table with ?format=text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.reg.String())
+		return
+	}
+	writeJSON(w, s.reg.Snapshot())
+}
+
+// handleTrace lists the retained query traces, or serves one as Chrome
+// trace_event JSON with ?id=N (load in chrome://tracing / ui.perfetto.dev).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("id")
+	if idStr == "" {
+		s.traceMu.Lock()
+		list := append([]storedTrace(nil), s.traces...)
+		s.traceMu.Unlock()
+		writeJSON(w, list)
+		return
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	var tr *obs.Trace
+	s.traceMu.Lock()
+	for _, st := range s.traces {
+		if st.ID == id {
+			tr = st.tr
+			break
+		}
+	}
+	s.traceMu.Unlock()
+	if tr == nil {
+		http.Error(w, "trace not found (evicted from ring buffer?)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteChrome(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.tenants.reports())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/mapred"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// makeFS builds a small HAIL filesystem directory: replica 0 indexed on
+// column a, replica 1 unsorted PAX (so column c is adaptive territory).
+func makeFS(t *testing.T, n int) string {
+	t.Helper()
+	cluster, err := hdfs.NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.MustNew(
+		schema.Field{Name: "a", Type: schema.Int32},
+		schema.Field{Name: "b", Type: schema.String},
+		schema.Field{Name: "c", Type: schema.Int32},
+	)
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("%d,word-%d,%d", i%7, i, i%13))
+	}
+	client := &core.Client{
+		Cluster: cluster,
+		Config:  core.LayoutConfig{Schema: sch, SortColumns: []int{0, -1}, BlockSize: 2048},
+	}
+	if _, err := client.Upload("/t", lines); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "fs")
+	if err := cluster.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// referenceRows runs a query serially on an independent cluster instance
+// loaded from the same directory — no cache, no adaptive, no sharing.
+func referenceRows(t *testing.T, dir, file, annotation string) []string {
+	t.Helper()
+	cluster, err := hdfs.LoadShards(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := fsSchema(t, cluster, file)
+	q, err := query.ParseAnnotation(sch, annotation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := &mapred.Engine{Cluster: cluster}
+	res, err := engine.Run(&mapred.Job{
+		Name:  "reference",
+		File:  file,
+		Input: &core.InputFormat{Cluster: cluster, Query: q},
+		Map:   workload.PassthroughMap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, 0, len(res.Output))
+	for _, kv := range res.Output {
+		rows = append(rows, kv.Key)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func fsSchema(t *testing.T, cluster *hdfs.Cluster, file string) *schema.Schema {
+	t.Helper()
+	srv := &Server{cluster: cluster, schemas: map[string]*schema.Schema{}}
+	sch, err := srv.fileSchema(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func newTestServer(t *testing.T, dir string, cfg Config) *Server {
+	t.Helper()
+	cfg.FSDir = dir
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req QueryRequest) (*QueryResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var sb strings.Builder
+		if _, err := fmt.Fprint(&sb, resp.Status, ": "); err == nil {
+			buf := make([]byte, 512)
+			n, _ := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+		}
+		return &QueryResponse{Rows: []string{sb.String()}}, resp.StatusCode
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+func sorted(rows []string) []string {
+	out := append([]string(nil), rows...)
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %q, want %q", label, i, got[i], want[i])
+		}
+	}
+}
+
+const indexedQ = `@HailQuery(filter="@1 = 3", projection={@2})`
+const adaptiveQ = `@HailQuery(filter="@3 between(2,5)", projection={@1})`
+
+func TestServeQueryMatchesReference(t *testing.T) {
+	dir := makeFS(t, 700)
+	want := referenceRows(t, dir, "/t", indexedQ)
+	s := newTestServer(t, dir, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, code := postQuery(t, ts, QueryRequest{File: "/t", Query: indexedQ, Splitting: true})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, resp.Rows)
+	}
+	if resp.RowCount != len(want) {
+		t.Fatalf("row_count = %d, want %d", resp.RowCount, len(want))
+	}
+	sameRows(t, "first", sorted(resp.Rows), want)
+	if resp.IndexScans == 0 {
+		t.Error("expected index scans on the indexed column")
+	}
+
+	// Second run: the shared cache answers the blocks.
+	resp2, _ := postQuery(t, ts, QueryRequest{File: "/t", Query: indexedQ, Splitting: true})
+	sameRows(t, "cached", sorted(resp2.Rows), want)
+	if resp2.BlocksFromCache == 0 {
+		t.Error("second identical query served no blocks from the shared cache")
+	}
+
+	// Bad requests surface as 4xx, not 500.
+	if _, code := postQuery(t, ts, QueryRequest{File: "/t", Query: "not an annotation"}); code != http.StatusBadRequest {
+		t.Errorf("bad query → status %d, want 400", code)
+	}
+	if _, code := postQuery(t, ts, QueryRequest{File: "/missing", Query: indexedQ}); code != http.StatusNotFound {
+		t.Errorf("missing file → status %d, want 404", code)
+	}
+}
+
+func TestAdmissionBackpressure429(t *testing.T) {
+	dir := makeFS(t, 700)
+	s := newTestServer(t, dir, Config{MaxInFlight: 2, QueueTimeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Fill both slots so the next request must queue and time out.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	_, code := postQuery(t, ts, QueryRequest{File: "/t", Query: indexedQ})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", code)
+	}
+	if got := s.reg.Counter("server.rejected").Value(); got != 1 {
+		t.Errorf("server.rejected = %d, want 1", got)
+	}
+	// Free a slot: the same request is admitted again.
+	<-s.sem
+	if _, code := postQuery(t, ts, QueryRequest{File: "/t", Query: indexedQ}); code != http.StatusOK {
+		t.Fatalf("after freeing a slot: status %d, want 200", code)
+	}
+	<-s.sem
+}
+
+func TestTenantCacheBudget(t *testing.T) {
+	dir := makeFS(t, 700)
+	s := newTestServer(t, dir, Config{
+		Tenants: map[string]TenantLimits{"capped": {CacheBytes: 1}},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postQuery(t, ts, QueryRequest{Tenant: "capped", File: "/t", Query: indexedQ})
+	if st := s.CacheStats(); st.Entries != 0 || st.SplitEntries != 0 {
+		t.Fatalf("capped tenant admitted %d+%d entries into the shared cache", st.Entries, st.SplitEntries)
+	}
+	// The free tenant warms the cache; the capped tenant still gets hits
+	// from it (reads are never budget-gated).
+	postQuery(t, ts, QueryRequest{Tenant: "free", File: "/t", Query: indexedQ})
+	if st := s.CacheStats(); st.Entries == 0 {
+		t.Fatal("free tenant admitted nothing")
+	}
+	resp, _ := postQuery(t, ts, QueryRequest{Tenant: "capped", File: "/t", Query: indexedQ})
+	if resp.BlocksFromCache == 0 {
+		t.Error("capped tenant should read the shared cache")
+	}
+
+	var reports []TenantReport
+	r, err := http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(&reports); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TenantReport{}
+	for _, rep := range reports {
+		byName[rep.Tenant] = rep
+	}
+	if byName["capped"].CacheDenied == 0 {
+		t.Error("capped tenant shows no cache denials")
+	}
+	if byName["free"].CacheCharged == 0 {
+		t.Error("free tenant shows no cache charges")
+	}
+}
+
+func TestTenantAdaptiveBudget(t *testing.T) {
+	dir := makeFS(t, 700)
+	s := newTestServer(t, dir, Config{
+		OfferRate: 1.0,
+		Tenants:   map[string]TenantLimits{"capped": {AdaptiveBytes: 1}},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First adaptive query is admitted (nothing charged yet) and builds.
+	resp, _ := postQuery(t, ts, QueryRequest{Tenant: "capped", File: "/t", Query: adaptiveQ, Adaptive: true})
+	if resp.AdaptiveBuilt == 0 {
+		t.Fatal("first adaptive query built nothing")
+	}
+	// Its build volume exceeds the 1-byte allowance, so the next adaptive
+	// query runs with adaptive indexing disabled.
+	resp2, _ := postQuery(t, ts, QueryRequest{Tenant: "capped", File: "/t", Query: adaptiveQ, Adaptive: true})
+	if !resp2.AdaptiveDenied {
+		t.Fatal("second adaptive query was not denied")
+	}
+	if resp2.AdaptiveBuilt != 0 {
+		t.Fatalf("denied query still built %d replicas", resp2.AdaptiveBuilt)
+	}
+	// It still benefits from the replicas already built.
+	if resp2.IndexScans == 0 {
+		t.Error("denied query should still use indexes built before the cap")
+	}
+}
+
+func TestPersistAcrossRestart(t *testing.T) {
+	dir := makeFS(t, 700)
+	want := referenceRows(t, dir, "/t", adaptiveQ)
+	s := newTestServer(t, dir, Config{OfferRate: 1.0})
+	ts := httptest.NewServer(s.Handler())
+	resp, code := postQuery(t, ts, QueryRequest{File: "/t", Query: adaptiveQ, Adaptive: true})
+	if code != http.StatusOK || resp.AdaptiveBuilt == 0 {
+		t.Fatalf("warmup query: status %d, built %d", code, resp.AdaptiveBuilt)
+	}
+	sameRows(t, "warmup", sorted(resp.Rows), want)
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The sidecar is intact JSON (the atomic-write path) …
+	reps, err := adaptive.LoadRegistry(filepath.Join(dir, adaptive.RegistryFile))
+	if err != nil || len(reps) == 0 {
+		t.Fatalf("registry after close: %d entries, err %v", len(reps), err)
+	}
+	for _, r := range reps {
+		if r.TouchedAt.IsZero() {
+			t.Errorf("replica %d/%d has no wall-clock stamp", r.Block, r.Column)
+		}
+	}
+	// … and a fresh server adopts it: the query is all-index-scan with no
+	// further builds.
+	s2 := newTestServer(t, dir, Config{OfferRate: 1.0})
+	if len(s2.Indexer().Replicas()) == 0 {
+		t.Fatal("restarted server adopted no replicas")
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp2, _ := postQuery(t, ts2, QueryRequest{File: "/t", Query: adaptiveQ, Adaptive: true})
+	sameRows(t, "restart", sorted(resp2.Rows), want)
+	if resp2.AdaptiveBuilt != 0 {
+		t.Errorf("restarted server rebuilt %d replicas it should have adopted", resp2.AdaptiveBuilt)
+	}
+	if resp2.FullScans != 0 {
+		t.Errorf("restarted server still full-scans %d blocks", resp2.FullScans)
+	}
+}
+
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	dir := makeFS(t, 700)
+	s := newTestServer(t, dir, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postQuery(t, ts, QueryRequest{File: "/t", Query: indexedQ, Trace: true})
+	if resp.TraceID == 0 {
+		t.Fatal("traced query returned no trace id")
+	}
+	r, err := http.Get(fmt.Sprintf("%s/trace?id=%d", ts.URL, resp.TraceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	err = json.NewDecoder(r.Body).Decode(&chrome)
+	r.Body.Close()
+	if err != nil || len(chrome.TraceEvents) == 0 {
+		t.Fatalf("trace endpoint: %d events, err %v", len(chrome.TraceEvents), err)
+	}
+
+	m, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []struct {
+		Name  string `json:"name"`
+		Count int64  `json:"count"`
+	}
+	err = json.NewDecoder(m.Body).Decode(&metrics)
+	m.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, met := range metrics {
+		if met.Name == "server.query_seconds" && met.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("metrics snapshot missing server.query_seconds")
+	}
+}
+
+// TestConcurrentQueriesByteEquivalent is the daemon-shaped -race stress
+// test: many concurrent queries across tenants and query shapes run
+// through ONE shared cache, ONE shared adaptive indexer and ONE obs
+// registry, and every response must be byte-equivalent (as a sorted row
+// set) to serial execution without any shared state.
+func TestConcurrentQueriesByteEquivalent(t *testing.T) {
+	dir := makeFS(t, 700)
+	queries := []string{
+		indexedQ,
+		`@HailQuery(filter="@1 = 5", projection={@2})`,
+		`@HailQuery(filter="@1 between(1,2)", projection={@2, @3})`,
+		adaptiveQ,
+	}
+	want := make(map[string][]string, len(queries))
+	for _, q := range queries {
+		want[q] = referenceRows(t, dir, "/t", q)
+	}
+
+	s := newTestServer(t, dir, Config{OfferRate: 0.5, MaxInFlight: 64, QueueTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Converge the adaptive column first so the storm runs over a static
+	// replica topology (builds mid-storm would still be correct, but this
+	// also pins down AdaptiveBuilt expectations).
+	for i := 0; i < 4; i++ {
+		postQuery(t, ts, QueryRequest{File: "/t", Query: adaptiveQ, Adaptive: true})
+	}
+
+	const n = 120
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries[i%len(queries)]
+			req := QueryRequest{
+				Tenant:    fmt.Sprintf("tenant-%d", i%5),
+				File:      "/t",
+				Query:     q,
+				Splitting: i%2 == 0,
+				PackScans: i%3 == 0,
+				Adaptive:  q == adaptiveQ,
+				NoCache:   i%7 == 0,
+			}
+			resp, code := postQuery(t, ts, req)
+			if code != http.StatusOK {
+				errs <- fmt.Sprintf("query %d: status %d: %v", i, code, resp.Rows)
+				return
+			}
+			got := sorted(resp.Rows)
+			exp := want[q]
+			if len(got) != len(exp) {
+				errs <- fmt.Sprintf("query %d (%s): %d rows, want %d", i, q, len(got), len(exp))
+				return
+			}
+			for j := range got {
+				if got[j] != exp[j] {
+					errs <- fmt.Sprintf("query %d (%s): row %d = %q, want %q", i, q, j, got[j], exp[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := s.reg.Counter("server.queries").Value(); got < n {
+		t.Errorf("server.queries = %d, want ≥ %d", got, n)
+	}
+	if s.CacheStats().Hits == 0 {
+		t.Error("storm produced no shared-cache hits")
+	}
+}
+
+// TestRegistrySidecarNeverTorn simulates the crash window: overwrite the
+// sidecar many times while a reader loads it concurrently — every load
+// must see a complete JSON snapshot (the rename is atomic), never a torn
+// prefix.
+func TestRegistrySidecarNeverTorn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, adaptive.RegistryFile)
+	big := make([]adaptive.ReplicaHeat, 64)
+	for i := range big {
+		big[i] = adaptive.ReplicaHeat{File: "/t", Column: i, Block: hdfs.BlockID(i), Bytes: 1 << 20, TouchedAt: time.Now()}
+	}
+	if err := adaptive.SaveRegistry(path, big); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := adaptive.SaveRegistry(path, big[:1+i%len(big)]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		reps, err := adaptive.LoadRegistry(path)
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		if len(reps) == 0 {
+			t.Fatalf("load %d: empty (torn write?)", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// And the temp files were all cleaned up.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files in dir: %v", entries)
+	}
+}
