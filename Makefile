@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The same lane CI's lint job runs: formatting, vet, and the repo's own
+# invariant analyzers (see ARCHITECTURE.md "Statically enforced
+# invariants"). staticcheck runs when installed — CI pins it; the
+# offline dev container may not have it.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/hailint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipped (CI runs it pinned)"; fi
+
+fmt:
+	gofmt -w .

@@ -139,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		srv.Close()
+		srv.Close() //lint:allow errsink best-effort cleanup; the listen failure is the error the caller needs
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -163,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		fmt.Fprintln(stdout, "haild: stopped")
 		return err
 	case err := <-serveErr:
-		srv.Close()
+		srv.Close() //lint:allow errsink best-effort cleanup; Serve's failure is the error the caller needs
 		return err
 	}
 }

@@ -1,0 +1,84 @@
+// Command hailint runs the repo's invariant analyzers (internal/lint)
+// over the tree — the static counterpart to runtime checks like
+// obs.Trace.Validate and the namenode oracle harness.
+//
+// Usage:
+//
+//	hailint [-analyzers spanend,genbump,...] [-list] [patterns...]
+//
+// Patterns default to ./... and accept ./dir and ./dir/... forms. Exit
+// status is 0 for a clean tree, 1 on diagnostics, 2 on usage or load
+// errors. Intentional exceptions are suppressed in the code itself with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line; a missing reason is
+// itself a diagnostic, so every exception stays auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("hailint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "module root to analyze")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := lint.All()
+	if *analyzers != "" {
+		var err error
+		suite, err = lint.ByName(*analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "hailint: %v\n", err)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	pkgs, err := lint.LoadModule(*dir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "hailint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "hailint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hailint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

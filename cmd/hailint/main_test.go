@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with stdout/stderr redirected to temp files.
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	outB, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errB, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(outB), string(errB)
+}
+
+// writeModule lays down a throwaway module for hermetic CLI runs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"spanend", "genbump", "lockorder", "wallclock", "atomicfield", "errsink"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := runCapture(t, "-analyzers", "nonesuch")
+	if code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "nonesuch") {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", errOut)
+	}
+}
+
+func TestViolationsExitOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module smoketest\n\ngo 1.24\n",
+		"sink.go": `package smoketest
+
+func save() error { return nil }
+
+func use() {
+	save()
+}
+`,
+	})
+	code, out, _ := runCapture(t, "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("violating module exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[errsink]") || !strings.Contains(out, "save") {
+		t.Errorf("missing errsink diagnostic in output:\n%s", out)
+	}
+}
+
+func TestCleanExitZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module smoketest\n\ngo 1.24\n",
+		"sink.go": `package smoketest
+
+func save() error { return nil }
+
+func use() error {
+	return save()
+}
+`,
+	})
+	code, out, errOut := runCapture(t, "-C", dir, "./...")
+	if code != 0 {
+		t.Fatalf("clean module exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	// The same violating module is clean when the flag deselects errsink.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module smoketest\n\ngo 1.24\n",
+		"sink.go": `package smoketest
+
+func save() error { return nil }
+
+func use() {
+	save()
+}
+`,
+	})
+	code, out, _ := runCapture(t, "-C", dir, "-analyzers", "wallclock", "./...")
+	if code != 0 {
+		t.Fatalf("subset run exited %d:\n%s", code, out)
+	}
+}

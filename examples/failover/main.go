@@ -49,7 +49,9 @@ func run(label string, sortCols []int) map[string]int {
 		if done >= total/4 {
 			once.Do(func() {
 				fmt.Printf("  [%s] killing datanode %d at %d/%d tasks\n", label, victim, done, total)
-				cluster.KillNode(victim)
+				if err := cluster.KillNode(victim); err != nil {
+					fmt.Printf("  [%s] kill failed: %v\n", label, err)
+				}
 			})
 		}
 	}

@@ -332,7 +332,7 @@ func (i *Indexer) nowLocked() time.Time {
 	if i.now != nil {
 		return i.now()
 	}
-	return time.Now()
+	return time.Now() //lint:allow wallclock this IS the injectable clock's default source
 }
 
 // decayedTouchLocked returns a replica's effective logical last-touch

@@ -320,9 +320,10 @@ func (r *Runner) ExpDispatch(w Workload, cacheBudget int64) (*DispatchReport, er
 	}
 	e := &mapred.Engine{Cluster: cluster, Parallelism: 2}
 	var once sync.Once
+	var killErr error
 	e.OnProgress = func(done, total int) {
 		if done >= total/2 {
-			once.Do(func() { cluster.KillNode(victim) })
+			once.Do(func() { killErr = cluster.KillNode(victim) })
 		}
 	}
 	killRes, err := e.Run(&mapred.Job{
@@ -331,6 +332,11 @@ func (r *Runner) ExpDispatch(w Workload, cacheBudget int64) (*DispatchReport, er
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: packed job with node kill failed: %v", err)
+	}
+	if killErr != nil {
+		// A failed kill means the failover path was never exercised and the
+		// comparison below would vacuously pass.
+		return nil, fmt.Errorf("dispatch: killing node %d failed: %v", victim, killErr)
 	}
 	if !sameMultiset(multiset(killRes.Output), reference) {
 		return nil, fmt.Errorf("dispatch: packed job output diverged after node kill")

@@ -136,9 +136,10 @@ func (r *Runner) hailFaultRun(sortCols []int, bq workload.BenchQuery) (e2e, slow
 	victim := cluster.NameNode().GetHostsWithIndex(sum.BlockIDs[0], bq.Query.Filter[0].Column)[0]
 	e := &mapred.Engine{Cluster: cluster, Parallelism: 2}
 	var once sync.Once
+	var killErr error
 	e.OnProgress = func(done, total int) {
 		if done >= total/2 {
-			once.Do(func() { cluster.KillNode(victim) })
+			once.Do(func() { killErr = cluster.KillNode(victim) })
 		}
 	}
 	resKill, err := e.Run(&mapred.Job{
@@ -148,6 +149,11 @@ func (r *Runner) hailFaultRun(sortCols []int, bq workload.BenchQuery) (e2e, slow
 	})
 	if err != nil {
 		return 0, 0, err
+	}
+	if killErr != nil {
+		// A failed kill means no failover happened and the degradation
+		// measurement below would be meaningless.
+		return 0, 0, fmt.Errorf("fault: killing node %d failed: %v", victim, killErr)
 	}
 	st := resKill.TotalStats()
 	fallbackFraction := float64(st.FullScans) / float64(st.Blocks)

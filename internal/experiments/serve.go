@@ -174,7 +174,7 @@ func (r *Runner) ExpServe(w Workload, queries, tenants int) (*ServeReport, error
 	if err != nil {
 		return nil, err
 	}
-	defer srv.Close()
+	defer srv.Close() //lint:allow errsink best-effort teardown after the experiment's results are gathered
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity: a struct field accessed
+// through sync/atomic anywhere (atomic.LoadInt64(&x.f), ...) must be
+// accessed through sync/atomic everywhere. One plain read racing a
+// concurrent atomic writer is still a data race — the mixed pattern is a
+// bug every time, and it hides from the race detector until a test
+// happens to interleave the two. (Fields typed atomic.Int64 etc. are
+// immune by construction; this analyzer polices the pointer-style
+// remnants, e.g. core.InputFormat.nnOps.)
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: find fields that appear as &x.f in a sync/atomic call, and
+	// remember the selector nodes so pass 2 does not re-flag them.
+	atomicFields := make(map[*types.Var]bool)
+	blessed := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(pass.Info, sel); f != nil {
+					atomicFields[f] = true
+					blessed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields is a violation.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			f := fieldOf(pass.Info, sel)
+			if f == nil || !atomicFields[f] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "non-atomic access to field %s, which is accessed via sync/atomic elsewhere", f.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf returns the struct field a selector denotes, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink reports error results of repo-internal calls that are silently
+// dropped: a bare call statement (`c.Save(dir)`), a blank assignment in
+// the error slot (`_ = c.Save(dir)`), or a dropped error on defer/go.
+// Only module-local callees are policed — the standard library has
+// legitimately ignorable errors (fmt printing above all); ours do not:
+// every error a HAIL layer returns marks data that was not persisted,
+// a replica that was not registered, or a budget that was not charged.
+// Deliberate drops take //lint:allow errsink <reason>.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "error results of repo-internal calls must not be dropped",
+	Run:  runErrSink,
+}
+
+func runErrSink(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, st.Call)
+			case *ast.GoStmt:
+				checkDroppedCall(pass, st.Call)
+			case *ast.AssignStmt:
+				checkBlankErr(pass, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCall flags a statement-position call to a local function
+// whose results include an error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
+	fn := localCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	if errorResultIndex(fn) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s dropped", fn.Name())
+}
+
+// checkBlankErr flags `_ = localCall()` / `x, _ := localCall()` where the
+// blank identifier swallows the error result.
+func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := localCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	idx := errorResultIndex(fn)
+	if idx < 0 || idx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error result of %s assigned to blank identifier", fn.Name())
+	}
+}
+
+// localCallee resolves a call to a function declared in the tree under
+// analysis (this package included), or nil.
+func localCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() == pass.Pkg {
+		return fn
+	}
+	if pass.IsLocalPkg != nil && pass.IsLocalPkg(fn.Pkg().Path()) {
+		return fn
+	}
+	return nil
+}
+
+// errorResultIndex returns the position of the error result in fn's
+// signature, or -1 if it returns none. By repo convention the error is
+// the last result.
+func errorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	last := res.At(res.Len() - 1).Type()
+	if named := namedOrNil(last); named != nil && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return res.Len() - 1
+	}
+	return -1
+}

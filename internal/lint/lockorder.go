@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// guardedLockTypes are the fine-grained leaf locks of the storage layer.
+// Holding one while acquiring another (any pairing, either order) is how
+// the sharded namenode deadlocks: shard A → shard B in one goroutine and
+// B → A in another. The locking discipline is therefore "leaf only": a
+// dirShard or DataNode critical section does exactly its own map work and
+// releases.
+var guardedLockTypes = map[string]bool{"dirShard": true, "DataNode": true}
+
+// lockFacadeTypes are the types whose exported methods take guarded locks
+// internally; calling one from inside a critical section nests locks just
+// as surely as a literal second mu.Lock().
+var lockFacadeTypes = map[string]bool{"NameNode": true, "Cluster": true, "DataNode": true}
+
+// LockOrder enforces that discipline statically, the way the shard stress
+// tests check it dynamically: within one function, after a
+// dirShard.mu/DataNode.mu acquisition (including the counting lock()/
+// rlock() helpers), it reports any further guarded acquisition and any
+// call to an exported NameNode/Cluster/DataNode method before the plain
+// Unlock. A deferred Unlock keeps the section open to the function's end,
+// which is exactly when the rule matters most.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "shard/datanode locks must not nest, and no façade calls under them",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	// Only meaningful where the guarded types are visible: the package
+	// declaring dirShard (internal/hdfs, or a fixture modeling it).
+	if pass.Pkg.Scope().Lookup("dirShard") == nil {
+		return nil
+	}
+	for _, fd := range funcDecls(pass) {
+		walkLockStmts(pass, fd.Body.List, make(map[string]ast.Node))
+	}
+	return nil
+}
+
+// walkLockStmts interprets a statement list sequentially, tracking the set
+// of held guarded locks keyed by the rendered owner expression ("s",
+// "dn"). Compound statements recurse with a copy of the held set; their
+// internal releases are not propagated past them (a branch that unlocks
+// and returns does not release the fall-through path).
+func walkLockStmts(pass *Pass, stmts []ast.Stmt, held map[string]ast.Node) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			checkNestedCalls(pass, st, held)
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				lockStepCall(pass, call, held, false)
+			}
+		case *ast.AssignStmt:
+			checkNestedCalls(pass, st, held)
+			for _, rhs := range s.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					lockStepCall(pass, call, held, false)
+				}
+			}
+		case *ast.DeferStmt:
+			checkNestedCalls(pass, st, held)
+			// defer x.mu.Unlock() pins the section open for the rest of
+			// the function: no state change, by design.
+			if owner, _, acquire := lockCall(pass, s.Call); owner != "" && acquire {
+				reportAcquire(pass, s.Call, owner, held)
+				held[owner] = s.Call
+			}
+		case *ast.BlockStmt:
+			walkLockStmts(pass, s.List, held)
+		case *ast.IfStmt:
+			walkBranch(pass, s.Init, held)
+			scanExprCalls(pass, s.Cond, held)
+			walkLockStmts(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				walkLockStmts(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			walkBranch(pass, s.Init, held)
+			scanExprCalls(pass, s.Cond, held)
+			walkLockStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			scanExprCalls(pass, s.X, held)
+			walkLockStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			walkBranch(pass, s.Init, held)
+			scanExprCalls(pass, s.Tag, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkLockStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			walkLockStmts(pass, []ast.Stmt{s.Stmt}, held)
+		case *ast.ReturnStmt:
+			checkNestedCalls(pass, st, held)
+			for _, r := range s.Results {
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+					lockStepCall(pass, call, held, true)
+				}
+			}
+		case *ast.GoStmt:
+			// A spawned goroutine synchronizes on its own; its lock use is
+			// a fresh stack.
+		default:
+			// IncDec, Send, Decl, Empty, Branch: scan their expressions.
+			checkNestedCalls(pass, st, held)
+		}
+	}
+}
+
+// scanExprCalls checks one expression (an if/for condition, a switch tag,
+// a range operand) for acquisitions or façade calls while locks are held.
+func scanExprCalls(pass *Pass, e ast.Expr, held map[string]ast.Node) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	scanCalls(pass, e, held, nil)
+}
+
+func walkBranch(pass *Pass, st ast.Stmt, held map[string]ast.Node) {
+	if st != nil {
+		walkLockStmts(pass, []ast.Stmt{st}, held)
+	}
+}
+
+func copyHeld(held map[string]ast.Node) map[string]ast.Node {
+	out := make(map[string]ast.Node, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockStepCall applies one top-level call's effect on the held set:
+// acquisitions are reported if something is already held, releases drop
+// their key. readOnly suppresses the state change (calls in return
+// expressions acquire but the function exits immediately after).
+func lockStepCall(pass *Pass, call *ast.CallExpr, held map[string]ast.Node, readOnly bool) {
+	owner, release, acquire := lockCall(pass, call)
+	if owner == "" {
+		if len(held) > 0 {
+			checkFacadeCall(pass, call, held)
+		}
+		return
+	}
+	if acquire {
+		reportAcquire(pass, call, owner, held)
+		if !readOnly {
+			held[owner] = call
+		}
+	}
+	if release && !readOnly {
+		delete(held, owner)
+	}
+}
+
+func reportAcquire(pass *Pass, call *ast.CallExpr, owner string, held map[string]ast.Node) {
+	if len(held) == 0 {
+		return
+	}
+	for other := range held {
+		pass.Reportf(call.Pos(), "acquiring %s lock while %s lock is held — shard/datanode locks must not nest", owner, other)
+		return
+	}
+}
+
+// lockCall classifies a call as a guarded acquisition or release and
+// returns the rendered owner expression. Recognized shapes:
+//
+//	x.mu.Lock() / x.mu.RLock()     acquire (x of guarded type)
+//	x.mu.Unlock() / x.mu.RUnlock() release
+//	x.lock() / x.rlock()           acquire (the counting helpers)
+func lockCall(pass *Pass, call *ast.CallExpr) (owner string, release, acquire bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != "mu" {
+			return "", false, false
+		}
+		ownerType := pass.Info.TypeOf(muSel.X)
+		if n := namedOrNil(ownerType); n == nil || !guardedLockTypes[n.Obj().Name()] {
+			return "", false, false
+		}
+		owner = types.ExprString(muSel.X)
+		isAcquire := sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock"
+		return owner, !isAcquire, isAcquire
+	case "lock", "rlock":
+		recvType := pass.Info.TypeOf(sel.X)
+		if n := namedOrNil(recvType); n == nil || !guardedLockTypes[n.Obj().Name()] {
+			return "", false, false
+		}
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// checkFacadeCall reports a call to an exported method of a lock-façade
+// type made while a guarded lock is held — the call will take another
+// guarded lock internally.
+func checkFacadeCall(pass *Pass, call *ast.CallExpr, held map[string]ast.Node) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !fn.Exported() {
+		return
+	}
+	recv := recvNamed(fn)
+	if recv == nil || !lockFacadeTypes[recv.Obj().Name()] {
+		return
+	}
+	for other := range held {
+		pass.Reportf(call.Pos(), "call to locking method %s.%s while %s lock is held — release the shard lock first",
+			recv.Obj().Name(), fn.Name(), other)
+		return
+	}
+}
+
+// checkNestedCalls scans a statement's sub-expressions (call arguments,
+// index expressions) for acquisitions or façade calls hidden below the
+// top level, which walkLockStmts interprets itself.
+func checkNestedCalls(pass *Pass, st ast.Stmt, held map[string]ast.Node) {
+	if len(held) == 0 {
+		return
+	}
+	scanCalls(pass, st, held, topLevelCalls(st))
+}
+
+// scanCalls reports every guarded acquisition or façade call under n,
+// skipping calls in skip and the bodies of closures (they run on their
+// own stack/time).
+func scanCalls(pass *Pass, n ast.Node, held map[string]ast.Node, skip map[*ast.CallExpr]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || skip[call] {
+			return true
+		}
+		if owner, _, acquire := lockCall(pass, call); owner != "" {
+			if acquire {
+				reportAcquire(pass, call, owner, held)
+			}
+			return true
+		}
+		checkFacadeCall(pass, call, held)
+		return true
+	})
+}
+
+// topLevelCalls returns the calls walkLockStmts already interpreted for
+// this statement, so checkNestedCalls does not double-report them.
+func topLevelCalls(st ast.Stmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			out[call] = true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				out[call] = true
+			}
+		}
+	case *ast.DeferStmt:
+		out[s.Call] = true
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+				out[call] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd is the compile-time mirror of obs.Trace.Validate's
+// "closed-exactly-once" rule: a Span created in a function must reach
+// End() on every control-flow path out of that function, or escape to
+// someone who owns the closing (returned, stored, passed as an argument —
+// including as another span's parent — or captured by a closure).
+// Trace.Validate only fires when a test drives the leaking path;
+// this analyzer walks every path, early returns and failover re-pack
+// retry loops included.
+//
+// The check is an abstract interpretation of the function body: each span
+// variable is untracked → open (its creating call) → closed (End() or
+// defer End()), branches merge pessimistically (a path that may leave the
+// span open wins), and loops account for zero iterations. defer sp.End()
+// closes all later exits, which is why it is the repo's dominant idiom.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs span must End() on all paths or escape",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		checkFuncSpans(pass, fd)
+	}
+	return nil
+}
+
+// isSpanValue reports whether t is obs.Span (fixtures declare their own
+// obs package, matched by path tail).
+func isSpanValue(t types.Type) bool {
+	return isNamedType(t, "obs", "Span")
+}
+
+// spanCreation matches `v := <call returning obs.Span>` / `v = <call>`
+// with a single LHS identifier, returning the variable object.
+func spanCreation(pass *Pass, as *ast.AssignStmt) (types.Object, *ast.CallExpr) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isSpanValue(pass.Info.TypeOf(call)) {
+		return nil, nil
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	return obj, call
+}
+
+// spanMethods are the Span methods a non-escaping use may invoke; End is
+// the closing one.
+var spanMethods = map[string]bool{"End": true, "SetInt": true, "SetStr": true}
+
+func checkFuncSpans(pass *Pass, fd *ast.FuncDecl) {
+	// Collect candidate span variables created in this function.
+	type candidate struct {
+		obj  types.Object
+		call *ast.CallExpr
+	}
+	var cands []candidate
+	hasGoto := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if obj, call := spanCreation(pass, st); obj != nil {
+				cands = append(cands, candidate{obj, call})
+			}
+		case *ast.BranchStmt:
+			if st.Tok == token.GOTO {
+				hasGoto = true
+			}
+		case *ast.ExprStmt:
+			// A span-returning call in statement position throws the
+			// handle away: nothing can ever End it.
+			if call, ok := st.X.(*ast.CallExpr); ok && isSpanValue(pass.Info.TypeOf(call)) {
+				pass.Reportf(call.Pos(), "span discarded: the returned obs.Span can never be ended")
+			}
+		}
+		return true
+	})
+	if len(cands) == 0 || hasGoto {
+		// goto-bearing functions are rare enough that path analysis is not
+		// worth modeling; the runtime Validate still covers them.
+		return
+	}
+
+	for _, c := range cands {
+		if spanEscapes(pass, fd, c.obj) {
+			continue
+		}
+		w := &spanWalker{pass: pass, obj: c.obj, creation: c.call}
+		out, terminated := w.walk(fd.Body.List, spanUntracked)
+		if !terminated && out == spanOpen {
+			pass.Reportf(c.call.Pos(), "span %s may reach the end of %s without End()", c.obj.Name(), fd.Name.Name)
+		}
+	}
+}
+
+// spanEscapes reports whether any use of the span variable hands the
+// value to code outside this function's straight-line view: a call
+// argument (e.g. as a parent span), a return value, the RHS of an
+// assignment to something else, a composite literal, or any appearance
+// inside a closure. Receiver position of Span methods and the creating
+// assignment's LHS do not escape.
+func spanEscapes(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	escaped := false
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		if useEscapes(pass, stack) {
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+// useEscapes classifies one use of the span variable given the node stack
+// ending at its identifier.
+func useEscapes(pass *Pass, stack []ast.Node) bool {
+	id := stack[len(stack)-1]
+	// Inside any closure: the closure may End it later (or store it);
+	// either way this function's paths no longer tell the whole story.
+	for _, n := range stack[:len(stack)-1] {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		// sp.End() / sp.SetInt(...): method receiver position. Any other
+		// selector on a Span value does not exist, but stay conservative.
+		if parent.X == id && spanMethods[parent.Sel.Name] {
+			return false
+		}
+		return true
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == id {
+				return false // (re)assignment target, not a leak
+			}
+		}
+		return true // RHS: aliased into another variable
+	default:
+		// Call argument, return statement, composite literal, channel
+		// send, map index, struct field write... all hand the value away.
+		return true
+	}
+}
+
+// Span path states. Merging picks the "most dangerous" value: a path that
+// may leave the span open dominates.
+type spanState int
+
+const (
+	spanClosed spanState = iota
+	spanUntracked
+	spanOpen
+)
+
+func mergeSpan(a, b spanState) spanState {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type spanWalker struct {
+	pass     *Pass
+	obj      types.Object
+	creation *ast.CallExpr
+}
+
+// walk interprets a statement list from the entry state, reporting leaks
+// at returns. It returns the fall-through state and whether every path
+// through the list terminated (returned/branched) before falling through.
+func (w *spanWalker) walk(stmts []ast.Stmt, st spanState) (spanState, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = w.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *spanWalker) stmt(s ast.Stmt, st spanState) (spanState, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if obj, _ := spanCreation(w.pass, s); obj == w.obj {
+			return spanOpen, false
+		}
+	case *ast.ExprStmt:
+		if w.isEndCall(s.X) {
+			return spanClosed, false
+		}
+	case *ast.DeferStmt:
+		// defer sp.End() guards every later exit.
+		if w.isEndCall(s.Call) {
+			return spanClosed, false
+		}
+	case *ast.ReturnStmt:
+		if st == spanOpen {
+			w.pass.Reportf(s.Pos(), "span %s may not be ended on this return path (created at line %d)",
+				w.obj.Name(), w.pass.Fset.Position(w.creation.Pos()).Line)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue: the carried state rejoins the loop, which the
+		// loop merge below approximates.
+		return st, true
+	case *ast.BlockStmt:
+		return w.walk(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		tOut, tTerm := w.walk(s.Body.List, st)
+		eOut, eTerm := st, false
+		if s.Else != nil {
+			eOut, eTerm = w.stmt(s.Else, st)
+		}
+		switch {
+		case tTerm && eTerm:
+			return st, true
+		case tTerm:
+			return eOut, false
+		case eTerm:
+			return tOut, false
+		default:
+			return mergeSpan(tOut, eOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		bodyOut, _ := w.walk(s.Body.List, st)
+		return mergeSpan(st, bodyOut), false
+	case *ast.RangeStmt:
+		bodyOut, _ := w.walk(s.Body.List, st)
+		return mergeSpan(st, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.caseMerge(s, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	}
+	return st, false
+}
+
+// caseMerge handles the three case-bodied statements: the result is the
+// merge over every non-terminating clause, plus the entry state when a
+// switch has no default (the no-match path falls through unchanged).
+func (w *spanWalker) caseMerge(s ast.Stmt, st spanState) (spanState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var outs []spanState
+	for _, c := range body.List {
+		var clause []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			clause = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			clause = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if cOut, cTerm := w.walk(clause, st); !cTerm {
+			outs = append(outs, cOut)
+		}
+	}
+	if !hasDefault {
+		// No default: the zero-case path carries the entry state through.
+		outs = append(outs, st)
+	}
+	if len(outs) == 0 {
+		return st, true
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = mergeSpan(out, o)
+	}
+	return out, false
+}
+
+// isEndCall matches `<obj>.End()`.
+func (w *spanWalker) isEndCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && w.pass.Info.Uses[id] == w.obj
+}

@@ -1,0 +1,47 @@
+// Fixture for the atomicfield analyzer: a field accessed through
+// sync/atomic anywhere must be accessed through sync/atomic everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // accessed via atomic.AddInt64/LoadInt64
+	plain int64 // never touched atomically
+	total atomic.Int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// racyRead: a plain load racing the atomic writers above.
+func (c *counter) racyRead() int64 {
+	return c.hits // want `non-atomic access to field hits`
+}
+
+// racyWrite: a plain increment is a read-modify-write race.
+func (c *counter) racyWrite() {
+	c.hits++ // want `non-atomic access to field hits`
+}
+
+// plainOK: a field with no atomic accesses anywhere is unconstrained.
+func (c *counter) plainOK(delta int64) {
+	c.plain += delta
+}
+
+type entry struct{ bytes int64 }
+
+// charge regression: the unary-minus argument to an atomic.Int64 method
+// must not bless entry.bytes as an atomic field — only &x.f arguments
+// mark fields (this misfired on qcache's c.bytes.Add(-e.bytes)).
+func (c *counter) charge(e *entry) {
+	c.total.Add(-e.bytes)
+}
+
+func (e *entry) grow(n int64) {
+	e.bytes += n
+}

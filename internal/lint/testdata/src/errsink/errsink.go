@@ -1,0 +1,60 @@
+// Fixture for the errsink analyzer: error results of tree-local calls
+// must reach a handler, not the floor.
+package errsink
+
+import "strconv"
+
+func save() error { return nil }
+
+func load() (int, error) { return 0, nil }
+
+func count() int { return 0 }
+
+// droppedStatement: bare call statement.
+func droppedStatement() {
+	save() // want `error result of save dropped`
+}
+
+// blankSingle: explicit blank assignment still loses the error.
+func blankSingle() {
+	_ = save() // want `error result of save assigned to blank identifier`
+}
+
+// blankInPair: the error slot is the last result by repo convention.
+func blankInPair() int {
+	n, _ := load() // want `error result of load assigned to blank identifier`
+	return n
+}
+
+// droppedDefer and droppedGo: statement-position drops in disguise.
+func droppedDefer() {
+	defer save() // want `error result of save dropped`
+}
+
+func droppedGo() {
+	go save() // want `error result of save dropped`
+}
+
+// handled: the error reaches a branch.
+func handled() error {
+	if err := save(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// propagated: both results used.
+func propagated() (int, error) {
+	return load()
+}
+
+// stdlibOK: only tree-local callees are policed; the standard library
+// has legitimately ignorable errors.
+func stdlibOK() {
+	strconv.Atoi("1")
+}
+
+// noError: callees without an error result are unconstrained.
+func noError() {
+	count()
+}

@@ -1,0 +1,99 @@
+// Fixture for the lockorder analyzer: dirShard/DataNode locks are leaf
+// locks — they never nest, and no exported NameNode/Cluster/DataNode
+// method runs inside their critical sections.
+package lockorder
+
+import "sync"
+
+type dirShard struct {
+	mu    sync.RWMutex
+	reps  map[int][]int
+	locks int
+}
+
+// lock/rlock are the counting helpers the analyzer treats as acquisitions.
+func (s *dirShard) lock()  { s.mu.Lock(); s.locks++ }
+func (s *dirShard) rlock() { s.mu.RLock() }
+
+type DataNode struct {
+	mu     sync.Mutex
+	blocks map[int][]byte
+}
+
+type NameNode struct {
+	shards []*dirShard
+}
+
+func (n *NameNode) Lookup(b int) []int { return nil }
+func (n *NameNode) helper()            {}
+
+type Cluster struct{ nn *NameNode }
+
+func (c *Cluster) KillNode(id int) bool { return false }
+
+// nestTwoShards is the canonical deadlock shape: A→B here, B→A elsewhere.
+func nestTwoShards(a, b *dirShard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `acquiring b lock while a lock is held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// sequentialOK releases before the next acquisition.
+func sequentialOK(a, b *dirShard) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// nestViaHelper: the counting helper acquires just as surely as mu.Lock.
+func nestViaHelper(s *dirShard, dn *DataNode) {
+	s.lock()
+	dn.mu.Lock() // want `acquiring dn lock while s lock is held`
+	dn.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// facadeUnderDeferredLock: a deferred RUnlock pins the section open to
+// the function's end, so the Lookup call runs under the read lock.
+func facadeUnderDeferredLock(s *dirShard, nn *NameNode) []int {
+	s.rlock()
+	defer s.mu.RUnlock()
+	return nn.Lookup(1) // want `call to locking method NameNode\.Lookup while s lock is held`
+}
+
+// facadeInCondition: locking calls hidden in an if condition count too.
+func facadeInCondition(s *dirShard, c *Cluster) {
+	s.mu.Lock()
+	if c.KillNode(1) { // want `call to locking method Cluster\.KillNode while s lock is held`
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// goroutineOwnStack: a spawned goroutine runs on its own stack and
+// synchronizes on its own; its lock use is not "under" ours.
+func goroutineOwnStack(s *dirShard, nn *NameNode) {
+	s.mu.Lock()
+	go func() {
+		nn.Lookup(1)
+	}()
+	s.mu.Unlock()
+}
+
+// unexportedUnderLock: unexported helpers are assumed lock-free by
+// convention; only exported façade methods re-lock.
+func unexportedUnderLock(s *dirShard, nn *NameNode) {
+	s.mu.Lock()
+	nn.helper()
+	s.mu.Unlock()
+}
+
+// facadeAfterRelease: once the lock drops, façade calls are fine.
+func facadeAfterRelease(s *dirShard, nn *NameNode) []int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return nn.Lookup(1)
+}

@@ -1,0 +1,25 @@
+// Package obs models the real internal/obs tracing surface for spanend
+// fixtures: the analyzer matches obs.Span by package-path tail, so this
+// bare "obs" package stands in for repro/internal/obs.
+package obs
+
+// Trace is the span factory.
+type Trace struct{ enabled bool }
+
+// Enabled mirrors the real API's tracing toggle.
+func (t *Trace) Enabled() bool { return t.enabled }
+
+// StartSpan opens a span; extra arguments are parent spans.
+func (t *Trace) StartSpan(name string, parents ...Span) Span { return Span{} }
+
+// Span is the value the spanend analyzer tracks.
+type Span struct{ traced bool }
+
+// End closes the span.
+func (s Span) End() {}
+
+// SetInt attaches an integer attribute; not a closing call.
+func (s Span) SetInt(key string, v int) {}
+
+// SetStr attaches a string attribute; not a closing call.
+func (s Span) SetStr(key, v string) {}

@@ -1,0 +1,101 @@
+// Fixture for the spanend analyzer: spans must End() on every path or
+// escape to an owner.
+package spanend
+
+import "obs"
+
+func work() {}
+
+// deferEnd is the repo's dominant idiom: defer guards every exit.
+func deferEnd(tr *obs.Trace) {
+	sp := tr.StartSpan("ok")
+	defer sp.End()
+	work()
+}
+
+// endOnAllBranches closes the span on both the early return and the
+// fall-through.
+func endOnAllBranches(tr *obs.Trace, b bool) {
+	sp := tr.StartSpan("branches")
+	if b {
+		sp.End()
+		return
+	}
+	sp.SetInt("k", 1)
+	sp.End()
+}
+
+// leakEarlyReturn forgets the span on one return path.
+func leakEarlyReturn(tr *obs.Trace, b bool) {
+	sp := tr.StartSpan("leak")
+	if b {
+		return // want `span sp may not be ended on this return path`
+	}
+	sp.End()
+}
+
+// leakFallThrough ends the span only inside one branch.
+func leakFallThrough(tr *obs.Trace, b bool) {
+	sp := tr.StartSpan("leak") // want `span sp may reach the end of leakFallThrough without End`
+	if b {
+		sp.End()
+	}
+}
+
+// leakLoopZeroIterations: a loop body that Ends the span does not help
+// when the loop runs zero times.
+func leakLoopZeroIterations(tr *obs.Trace, items []int) {
+	sp := tr.StartSpan("loop") // want `span sp may reach the end of leakLoopZeroIterations without End`
+	for range items {
+		sp.End()
+	}
+}
+
+// switchNoDefault: with no default clause the no-match path carries the
+// open span to the function end.
+func switchNoDefault(tr *obs.Trace, k int) {
+	sp := tr.StartSpan("switch") // want `span sp may reach the end of switchNoDefault without End`
+	switch k {
+	case 1:
+		sp.End()
+	case 2:
+		sp.End()
+	}
+}
+
+// switchWithDefault covers every path.
+func switchWithDefault(tr *obs.Trace, k int) {
+	sp := tr.StartSpan("switch")
+	switch k {
+	case 1:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+// escapeAsParent: handing the span to StartSpan as a parent transfers
+// ownership; the child is tracked and closed.
+func escapeAsParent(tr *obs.Trace) {
+	parent := tr.StartSpan("parent")
+	child := tr.StartSpan("child", parent)
+	child.End()
+}
+
+// escapeReturn: the caller owns a returned span.
+func escapeReturn(tr *obs.Trace) obs.Span {
+	sp := tr.StartSpan("ret")
+	return sp
+}
+
+// escapeClosure: a closure capturing the span may End it later.
+func escapeClosure(tr *obs.Trace) func() {
+	sp := tr.StartSpan("closure")
+	return func() { sp.End() }
+}
+
+// discarded: a span-returning call in statement position can never be
+// ended by anyone.
+func discarded(tr *obs.Trace) {
+	tr.StartSpan("gone") // want `span discarded`
+}

@@ -1,0 +1,52 @@
+// Fixture for the wallclock analyzer: bare time.Now/time.Since are for
+// Observe-fed latency timing only; decision clocks must be injected.
+// The fixture path ("wallclock") is not on the harness allowlist.
+package wallclock
+
+import "time"
+
+type histogram struct{}
+
+func (h *histogram) Observe(d time.Duration) {}
+
+var hist histogram
+
+func work() {}
+
+// observeInline: Since directly inside Observe is the sanctioned shape.
+func observeInline() {
+	start := time.Now()
+	work()
+	hist.Observe(time.Since(start))
+}
+
+// observeDeferred: the start stamp is consumed only by an exempt Since,
+// even from inside the deferred closure.
+func observeDeferred() {
+	start := time.Now()
+	defer func() { hist.Observe(time.Since(start)) }()
+	work()
+}
+
+// decisionNow uses ambient wall clock to make a decision: untestable.
+func decisionNow(deadline time.Time) bool {
+	return time.Now().After(deadline) // want `bare time\.Now\(\)`
+}
+
+// decisionSince compares a duration instead of observing it.
+func decisionSince(start time.Time) bool {
+	return time.Since(start) > time.Second // want `bare time\.Since\(\)`
+}
+
+// mixedUse: the stamp feeds an Observe but also leaks into the return
+// value, so it is a real clock read, not pure timing.
+func mixedUse() time.Time {
+	start := time.Now() // want `bare time\.Now\(\)`
+	hist.Observe(time.Since(start))
+	return start
+}
+
+// allowedSeam shows the escape hatch: an audited exception.
+func allowedSeam() time.Time {
+	return time.Now() //lint:allow wallclock fixture models an injection seam's default source
+}

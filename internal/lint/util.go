@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the declared function or method
+// it invokes, or nil for calls through function values, built-ins and
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Fn).
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// pkgPathMatches reports whether a package path denotes the named package:
+// either exactly (fixture packages have bare paths like "obs") or as the
+// final path element ("repro/internal/obs").
+func pkgPathMatches(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// namedOrNil unwraps pointers and aliases down to a named type.
+func namedOrNil(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type typeName declared in a package matching pkgName.
+func isNamedType(t types.Type, pkgName, typeName string) bool {
+	n := namedOrNil(t)
+	if n == nil || n.Obj().Name() != typeName || n.Obj().Pkg() == nil {
+		return false
+	}
+	return pkgPathMatches(n.Obj().Pkg().Path(), pkgName)
+}
+
+// recvNamed returns the named type of a method's receiver, nil for
+// functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOrNil(sig.Recv().Type())
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// declaredFunc returns the *types.Func a declaration defines.
+func declaredFunc(info *types.Info, fd *ast.FuncDecl) *types.Func {
+	f, _ := info.Defs[fd.Name].(*types.Func)
+	return f
+}

@@ -378,7 +378,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 		}
 		var waitStart time.Time
 		if m != nil {
-			waitStart = time.Now()
+			waitStart = time.Now() //lint:allow wallclock start stamp handed to the task goroutine, consumed only by taskWait.Observe
 		}
 		sem <- struct{}{}
 		go func(taskID int, tsp, wsp obs.Span, waitStart time.Time) {

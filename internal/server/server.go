@@ -470,7 +470,7 @@ func (s *Server) runQuery(req *QueryRequest) (*QueryResponse, error) {
 		tr = obs.NewTrace("haild:" + tenant)
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock query latency is reported to the tenant (LatencyMS), not just observed
 	res, err := engine.Run(&mapred.Job{
 		Name:   "haild:" + tenant,
 		File:   req.File,
@@ -482,7 +482,7 @@ func (s *Server) runQuery(req *QueryRequest) (*QueryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	dur := time.Since(start)
+	dur := time.Since(start) //lint:allow wallclock feeds both histograms and the client-visible LatencyMS
 	s.reg.Counter("server.queries").Inc()
 	s.reg.Histogram("server.query_seconds").Observe(dur)
 	s.reg.Histogram("server.tenant." + tenant + ".query_seconds").Observe(dur)
