@@ -9,9 +9,10 @@ test:
 	$(GO) test ./...
 
 # The same lane CI's lint job runs: formatting, vet, and the repo's own
-# invariant analyzers (see ARCHITECTURE.md "Statically enforced
-# invariants"). staticcheck runs when installed — CI pins it; the
-# offline dev container may not have it.
+# invariant analyzers — all nine, the per-package rules plus the
+# whole-module dataflow proofs (sigflow, lockgraph, goleak); see
+# ARCHITECTURE.md "Statically enforced invariants". staticcheck runs
+# when installed — CI pins it; the offline dev container may not have it.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...

@@ -4,11 +4,24 @@
 //
 // Usage:
 //
-//	hailint [-analyzers spanend,genbump,...] [-list] [patterns...]
+//	hailint [-analyzers spanend,sigflow,...] [-list] [-json] [-factdir dir] [patterns...]
 //
 // Patterns default to ./... and accept ./dir and ./dir/... forms. Exit
 // status is 0 for a clean tree, 1 on diagnostics, 2 on usage or load
-// errors. Intentional exceptions are suppressed in the code itself with
+// errors. Diagnostics print as file:line:col: [analyzer] message — the
+// format CI's GitHub problem matcher parses — or, under -json, as a
+// machine-readable array:
+//
+//	[{"file":"internal/core/inputformat.go","line":509,"col":14,
+//	  "analyzer":"sigflow","message":"..."}]
+//
+// -factdir additionally writes each analyzed package's exported analysis
+// facts (per-function field-read summaries, lock-acquisition edges,
+// nontermination marks) as <dir>/<pkg-path>.facts.json, the auditable
+// image of the cross-package dataflow the whole-module analyzers ran on;
+// CI caches it alongside staticcheck's analysis cache.
+//
+// Intentional exceptions are suppressed in the code itself with
 //
 //	//lint:allow <analyzer> <reason>
 //
@@ -17,9 +30,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -34,6 +50,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("C", ".", "module root to analyze")
+	jsonOut := fs.Bool("json", false, "print diagnostics as a JSON array instead of plain lines")
+	factDir := fs.String("factdir", "", "write per-package analysis-fact dumps (<pkg>.facts.json) under this directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,19 +77,78 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "hailint: %v\n", err)
 		return 2
 	}
-	diags, err := lint.RunAnalyzers(pkgs, suite)
+	diags, facts, err := lint.RunAnalyzersFacts(pkgs, suite)
 	if err != nil {
 		fmt.Fprintf(stderr, "hailint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *factDir != "" {
+		if err := writeFacts(*factDir, pkgs, facts); err != nil {
+			fmt.Fprintf(stderr, "hailint: %v\n", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "hailint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "hailint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the machine-readable diagnostic shape; field names are the
+// contract the CI tooling (and any editor integration) parses.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(stdout *os.File, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeFacts dumps each requested package's facts, one JSON file per
+// package, slashes flattened so the directory stays one level deep
+// ("repro__internal__core.facts.json").
+func writeFacts(dir string, pkgs []*lint.Package, facts *lint.FactSet) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		b, err := facts.PackageFactsJSON(pkg.Path)
+		if err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(pkg.Path, "/", "__") + ".facts.json"
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func firstLine(s string) string {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,7 +52,7 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"spanend", "genbump", "lockorder", "wallclock", "atomicfield", "errsink"} {
+	for _, name := range []string{"spanend", "genbump", "lockorder", "wallclock", "atomicfield", "errsink", "sigflow", "lockgraph", "goleak"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
@@ -123,5 +124,98 @@ func use() {
 	code, out, _ := runCapture(t, "-C", dir, "-analyzers", "wallclock", "./...")
 	if code != 0 {
 		t.Fatalf("subset run exited %d:\n%s", code, out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module smoketest\n\ngo 1.24\n",
+		"sink.go": `package smoketest
+
+func save() error { return nil }
+
+func use() {
+	save()
+}
+`,
+	})
+	code, out, _ := runCapture(t, "-C", dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("violating module exited %d, want 1\n%s", code, out)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d JSON diagnostics, want 1:\n%s", len(diags), out)
+	}
+	d := diags[0]
+	if d.Analyzer != "errsink" || d.Line == 0 || d.Col == 0 ||
+		!strings.HasSuffix(d.File, "sink.go") || !strings.Contains(d.Message, "save") {
+		t.Errorf("JSON diagnostic fields wrong: %+v", d)
+	}
+
+	// A clean run must still emit valid JSON: the empty array, not "null".
+	clean := writeModule(t, map[string]string{
+		"go.mod":  "module smoketest\n\ngo 1.24\n",
+		"sink.go": "package smoketest\n",
+	})
+	code, out, _ = runCapture(t, "-C", clean, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("clean module exited %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
+	}
+}
+
+func TestFactDir(t *testing.T) {
+	// Two packages: dep exports a goleak nontermination fact and a
+	// sigflow-free body; app imports dep. The dump for dep must carry the
+	// goleak object fact, proving the CLI surfaces the cross-package
+	// dataflow the analyzers ran on.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module smoketest\n\ngo 1.24\n",
+		"dep/dep.go": `package dep
+
+// Forever never returns.
+func Forever() {
+	for {
+	}
+}
+`,
+		"app/app.go": `package app
+
+import "smoketest/dep"
+
+// Use references the dependency so both packages load.
+func Use() { _ = dep.Forever }
+`,
+	})
+	facts := filepath.Join(t.TempDir(), "facts")
+	code, out, errOut := runCapture(t, "-C", dir, "-factdir", facts, "./...")
+	if code != 0 {
+		t.Fatalf("exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	b, err := os.ReadFile(filepath.Join(facts, "smoketest__dep.facts.json"))
+	if err != nil {
+		t.Fatalf("fact dump for dep not written: %v", err)
+	}
+	var doc map[string]map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("fact dump is not valid JSON: %v\n%s", err, b)
+	}
+	if _, ok := doc["goleak"]["obj:Forever"]; !ok {
+		t.Errorf("dep fact dump missing goleak's obj:Forever nontermination fact:\n%s", b)
+	}
+	if _, err := os.Stat(filepath.Join(facts, "smoketest__app.facts.json")); err != nil {
+		t.Errorf("fact dump for app not written: %v", err)
 	}
 }

@@ -511,11 +511,22 @@ func (f *InputFormat) Open(split mapred.Split, node hdfs.NodeID) (mapred.RecordR
 }
 
 // QuerySignature implements mapred.QuerySigner: the HailRecordReader is a
-// pure function of (block bytes, query), so the query's normalized
-// signature — conjuncts merged and ordered, projection preserved — keys
-// the block-level result cache.
+// pure function of (block bytes, query, scan path), so the query's
+// normalized signature — conjuncts merged and ordered, projection
+// preserved — keys the block-level result cache, prefixed with the scan
+// path when the legacy row-at-a-time reader is selected. The row and
+// batch paths are byte-equivalent today, but that equivalence is an
+// invariant maintained by tests (experiments.ExpVector), not by
+// construction — keying the knob means cache correctness never rides on
+// it. RowPath=false (the default) leaves every signature unchanged.
+// This is the unkeyed knob sigflow exists to catch; see
+// TestRowPathIsCacheKeyed for the runtime regression.
 func (f *InputFormat) QuerySignature() (string, bool) {
-	return f.Query.Signature(), true
+	sig := f.Query.Signature()
+	if f.RowPath {
+		sig = "rowpath|" + sig
+	}
+	return sig, true
 }
 
 // OpenBlock implements mapred.BlockOpener: a reader for one block of the

@@ -187,3 +187,37 @@ func TestScanAllocationsNotPerRow(t *testing.T) {
 		}
 	}
 }
+
+// TestRowPathIsCacheKeyed pins the fix for the real finding hailint's
+// sigflow analyzer surfaced on this tree: InputFormat.RowPath is read on
+// the block-scan path (Open threads it into the reader), so it must be
+// part of the cache key. Before the fix, a query run with -row-path and
+// the same query run on the batch path shared qcache entries — correct
+// only as long as the two paths stay byte-equivalent, a property tests
+// maintain but nothing enforces at cache-probe time. Two InputFormats
+// differing only in RowPath must therefore sign differently, and the
+// default (batch) signature must stay exactly the query's own signature
+// so existing cache keys are unchanged.
+func TestRowPathIsCacheKeyed(t *testing.T) {
+	q := &query.Query{
+		Filter:     []query.Predicate{query.AtLeast(workload.UVAdRevenue, schema.FloatVal(100))},
+		Projection: []int{workload.UVSourceIP},
+	}
+	batch := &InputFormat{Query: q}
+	row := &InputFormat{Query: q, RowPath: true}
+
+	bSig, ok := batch.QuerySignature()
+	if !ok {
+		t.Fatal("batch QuerySignature not ok")
+	}
+	rSig, ok := row.QuerySignature()
+	if !ok {
+		t.Fatal("row QuerySignature not ok")
+	}
+	if bSig == rSig {
+		t.Fatalf("RowPath is not cache-keyed: both paths sign %q — the block cache would serve one path's bytes for the other", bSig)
+	}
+	if bSig != q.Signature() {
+		t.Fatalf("batch signature changed by the fix: %q != %q — existing cache keys must stay valid", bSig, q.Signature())
+	}
+}

@@ -18,14 +18,16 @@ import (
 // runs both paths single-threaded, `repeats` times, taking the fastest
 // run (the standard way to suppress scheduler noise in micro-benchmarks);
 // before timing, both paths' outputs are verified byte-identical in
-// order, with identical I/O stats and an unchanged query signature — the
-// same guarantee ExpCache/ExpDispatch/ExpLifecycle gate end to end, here
-// gated at its source.
+// order, with identical I/O stats — the same guarantee
+// ExpCache/ExpDispatch/ExpLifecycle gate end to end, here gated at its
+// source — and with distinct cache signatures: RowPath is cache-key
+// material (sigflow's rule), so the row path must sign "rowpath|..."
+// while the batch path keeps the query's own signature.
 
 // VectorQuery is one query's A/B measurement.
 type VectorQuery struct {
 	Name  string
-	Query string // normalized signature (identical across both paths)
+	Query string // normalized signature (batch path's, the unprefixed one)
 	// Rows is the per-run scanned row count; OutRows the emitted records.
 	Rows    int64
 	OutRows int
@@ -109,8 +111,11 @@ func (r *Runner) ExpVector(w Workload, repeats int) (*VectorReport, error) {
 		}
 
 		// Equivalence gate before any timing: output byte-identical in
-		// order, stats identical up to the batch-only counters, signature
-		// untouched by the RowPath knob.
+		// order, stats identical up to the batch-only counters. The
+		// signatures must differ — RowPath is cache-key material, so the
+		// two paths may never share cache entries even though their
+		// outputs are (tested-)equivalent; the batch path keeps the
+		// query's own signature so existing keys are unchanged.
 		rowRes, rowSec, err := run(true)
 		if err != nil {
 			return nil, err
@@ -121,8 +126,11 @@ func (r *Runner) ExpVector(w Workload, repeats int) (*VectorReport, error) {
 		}
 		sa, _ := input(true).QuerySignature()
 		sb, _ := input(false).QuerySignature()
-		if sa != sb {
-			return nil, fmt.Errorf("vector: %s: signature changed across paths: %q vs %q", bq.name, sa, sb)
+		if sa == sb {
+			return nil, fmt.Errorf("vector: %s: RowPath not cache-keyed: both paths sign %q", bq.name, sb)
+		}
+		if sb != bq.q.Signature() {
+			return nil, fmt.Errorf("vector: %s: batch signature drifted from the query's own: %q vs %q", bq.name, sb, bq.q.Signature())
 		}
 		if len(rowRes.Output) != len(batchRes.Output) {
 			return nil, fmt.Errorf("vector: %s: row path emitted %d records, batch path %d",

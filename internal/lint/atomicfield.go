@@ -6,6 +6,15 @@ import (
 	"go/types"
 )
 
+// atomicUseFact marks a struct field as atomically accessed somewhere in
+// its declaring package, so a dependent package's plain access to the
+// (necessarily exported) field is flagged without re-analysis.
+type atomicUseFact struct {
+	Atomic bool
+}
+
+func (*atomicUseFact) AFact() {}
+
 // AtomicField enforces all-or-nothing atomicity: a struct field accessed
 // through sync/atomic anywhere (atomic.LoadInt64(&x.f), ...) must be
 // accessed through sync/atomic everywhere. One plain read racing a
@@ -13,11 +22,14 @@ import (
 // bug every time, and it hides from the race detector until a test
 // happens to interleave the two. (Fields typed atomic.Int64 etc. are
 // immune by construction; this analyzer polices the pointer-style
-// remnants, e.g. core.InputFormat.nnOps.)
+// remnants, e.g. core.InputFormat.nnOps.) The atomic-use set travels
+// across packages as an object fact on the field, so a plain access to
+// an exported counter from a dependent package is caught too.
 var AtomicField = &Analyzer{
-	Name: "atomicfield",
-	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
-	Run:  runAtomicField,
+	Name:      "atomicfield",
+	Doc:       "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:       runAtomicField,
+	FactTypes: []Fact{(*atomicUseFact)(nil)},
 }
 
 func runAtomicField(pass *Pass) error {
@@ -52,11 +64,15 @@ func runAtomicField(pass *Pass) error {
 			return true
 		})
 	}
-	if len(atomicFields) == 0 {
-		return nil
+	// Fields atomically used in this package are facts for dependents;
+	// the shared loader keeps object identity stable, so the fact lands
+	// on the same *types.Var a dependent's selector resolves to.
+	for f := range atomicFields {
+		pass.ExportObjectFact(f, &atomicUseFact{Atomic: true})
 	}
 
-	// Pass 2: every other access to those fields is a violation.
+	// Pass 2: every other access to those fields — including fields whose
+	// declaring package exported an atomic-use fact — is a violation.
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -64,8 +80,14 @@ func runAtomicField(pass *Pass) error {
 				return true
 			}
 			f := fieldOf(pass.Info, sel)
-			if f == nil || !atomicFields[f] {
+			if f == nil {
 				return true
+			}
+			if !atomicFields[f] {
+				var fact atomicUseFact
+				if f.Pkg() == pass.Pkg || !pass.ImportObjectFact(f, &fact) || !fact.Atomic {
+					return true
+				}
 			}
 			pass.Reportf(sel.Pos(), "non-atomic access to field %s, which is accessed via sync/atomic elsewhere", f.Name())
 			return true

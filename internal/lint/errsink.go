@@ -54,25 +54,49 @@ func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
 }
 
 // checkBlankErr flags `_ = localCall()` / `x, _ := localCall()` where the
-// blank identifier swallows the error result.
+// blank identifier swallows the error result — including parallel tuple
+// assignments (`a, _ = f(), g()`), where each right-hand side is a
+// single-valued expression and position i pairs with Lhs[i]. ast.Inspect
+// reaches assignments in `if`/`for` init statements like any other, so
+// those forms are covered by the same paths (regression-pinned in the
+// errsink fixture).
 func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
-	if len(as.Rhs) != 1 {
+	if len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := localCallee(pass, call)
+		if fn == nil {
+			return
+		}
+		idx := errorResultIndex(fn)
+		if idx < 0 || idx >= len(as.Lhs) {
+			return
+		}
+		if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(), "error result of %s assigned to blank identifier", fn.Name())
+		}
 		return
 	}
-	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
-	if !ok {
+	// Parallel assignment: every RHS yields exactly one value (the
+	// compiler rejects multi-result calls here), so a local call with an
+	// error result assigned to a blank slot drops that error.
+	if len(as.Lhs) != len(as.Rhs) {
 		return
 	}
-	fn := localCallee(pass, call)
-	if fn == nil {
-		return
-	}
-	idx := errorResultIndex(fn)
-	if idx < 0 || idx >= len(as.Lhs) {
-		return
-	}
-	if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
-		pass.Reportf(as.Pos(), "error result of %s assigned to blank identifier", fn.Name())
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := localCallee(pass, call)
+		if fn == nil || errorResultIndex(fn) < 0 {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(call.Pos(), "error result of %s assigned to blank identifier", fn.Name())
+		}
 	}
 }
 

@@ -25,6 +25,9 @@ var GenBump = &Analyzer{
 	Name: "genbump",
 	Doc:  "exported mutators of dirShard replica/generation maps must fire notifyChanged",
 	Run:  runGenBump,
+	// Purely local: dirShard and notifyChanged are package-private, so the
+	// whole reachability question lives inside internal/hdfs.
+	FactTypes: nil,
 }
 
 func runGenBump(pass *Pass) error {
@@ -80,6 +83,8 @@ func runGenBump(pass *Pass) error {
 		})
 	}
 
+	// closure lives in util.go now: sigflow and goleak propagate their own
+	// direct-property sets over call graphs with the same helper.
 	reachesWrite := closure(writes, callees)
 	reachesNotify := closure(notifies, callees)
 
@@ -93,31 +98,6 @@ func runGenBump(pass *Pass) error {
 		}
 	}
 	return nil
-}
-
-// closure propagates a direct-property set over the call graph: f has the
-// property if it does directly or any callee (transitively) does.
-func closure(direct map[*types.Func]bool, callees map[*types.Func][]*types.Func) map[*types.Func]bool {
-	out := make(map[*types.Func]bool, len(direct))
-	for f := range direct {
-		out[f] = true
-	}
-	for changed := true; changed; {
-		changed = false
-		for f, cs := range callees {
-			if out[f] {
-				continue
-			}
-			for _, c := range cs {
-				if out[c] {
-					out[f] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return out
 }
 
 // writesReplicaMap reports whether an assignment target is an entry of a

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goLoopsForeverFact marks a function whose body provably never returns:
+// it contains an infinite `for` with no exit statement (return, break out
+// of the loop, panic). Exported so `go pkg.Worker()` in a dependent
+// package is checked without re-analysis.
+type goLoopsForeverFact struct {
+	Loops bool
+}
+
+func (*goLoopsForeverFact) AFact() {}
+
+// GoLeak requires a provable termination path for every goroutine spawned
+// outside tests, targeting the two leak shapes that survive every test
+// run because nothing ever observes them:
+//
+//  1. A nonterminating body: an infinite `for` whose body (including any
+//     select) contains no return, no break out of the loop, and no panic
+//     can never exit — there is no stop channel, context case, or
+//     predicate that ends it. The property propagates through the call
+//     graph (a finite wrapper around a nonterminating helper still never
+//     terminates) and across packages as a fact. A loop that exits via
+//     `case <-stop: return` / `ctx.Done()` / a predicate return passes.
+//     Note `break` inside `select` exits the select, not the loop — a
+//     classic bug this analyzer models precisely.
+//
+//  2. A send on an unbuffered channel made in the spawning function that
+//     the spawner never receives from: the goroutine blocks at the send
+//     forever once the spawner returns (the `go func() { ch <- work() }`
+//     + early-return-on-timeout shape). Buffered channels (cmd/haild's
+//     serveErr) and channels the spawner demonstrably receives from are
+//     accepted.
+//
+// WaitGroup/semaphore-disciplined goroutines (mapred's task lanes,
+// experiments' storms) pass rule 1 trivially — their bodies are finite —
+// and rule 2 by buffering; the discipline this analyzer adds is that
+// resident loops (internal/server's persistLoop) must carry an explicit
+// stop signal.
+var GoLeak = &Analyzer{
+	Name:      "goleak",
+	Doc:       "every spawned goroutine must have a provable termination path",
+	Run:       runGoLeak,
+	FactTypes: []Fact{(*goLoopsForeverFact)(nil)},
+}
+
+func runGoLeak(pass *Pass) error {
+	decls := funcDecls(pass)
+	declOf := make(map[*types.Func]*ast.FuncDecl)
+	direct := make(map[*types.Func]bool)
+	callees := make(map[*types.Func][]*types.Func)
+
+	for _, fd := range decls {
+		fn := declaredFunc(pass.Info, fd)
+		if fn == nil {
+			continue
+		}
+		declOf[fn] = fd
+		if hasNoExitLoop(fd.Body) {
+			direct[fn] = true
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // a closure's loops are its own
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg() == pass.Pkg {
+				callees[fn] = append(callees[fn], callee)
+			} else if pass.IsLocalPkg != nil && pass.IsLocalPkg(callee.Pkg().Path()) {
+				var f goLoopsForeverFact
+				if pass.ImportObjectFact(callee, &f) && f.Loops {
+					direct[fn] = true
+				}
+			}
+			return true
+		})
+	}
+	loopsForever := closure(direct, callees)
+	for fn, loops := range loopsForever {
+		if loops {
+			pass.ExportObjectFact(fn, &goLoopsForeverFact{Loops: true})
+		}
+	}
+
+	// Check every go statement.
+	for _, fd := range decls {
+		unbuffered := unbufferedChans(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				if hasNoExitLoop(lit.Body) || closureCallsForever(pass, lit.Body, loopsForever) {
+					pass.Reportf(gs.Pos(),
+						"goroutine never terminates: infinite loop with no return/break — give it a stop channel or context case")
+				}
+				checkUnbufferedSends(pass, gs, lit.Body, unbuffered)
+				return true
+			}
+			callee := calleeFunc(pass.Info, gs.Call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			forever := false
+			if callee.Pkg() == pass.Pkg {
+				forever = loopsForever[callee]
+			} else if pass.IsLocalPkg != nil && pass.IsLocalPkg(callee.Pkg().Path()) {
+				var f goLoopsForeverFact
+				forever = pass.ImportObjectFact(callee, &f) && f.Loops
+			}
+			if forever {
+				pass.Reportf(gs.Pos(),
+					"goroutine never terminates: %s loops forever with no return/break — give it a stop channel or context case", callee.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// closureCallsForever reports whether a goroutine literal (unconditionally
+// analyzed shallowly) calls a function known to never return.
+func closureCallsForever(pass *Pass, body *ast.BlockStmt, loopsForever map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if callee.Pkg() == pass.Pkg && loopsForever[callee] {
+			found = true
+		} else if pass.IsLocalPkg != nil && pass.IsLocalPkg(callee.Pkg().Path()) {
+			var f goLoopsForeverFact
+			if pass.ImportObjectFact(callee, &f) && f.Loops {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasNoExitLoop reports whether the body contains an infinite `for`
+// (no condition) with no statement that can leave it: no return, no
+// break binding to the loop (unlabeled breaks inside nested
+// for/switch/select bind to those instead), no panic.
+func hasNoExitLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond == nil {
+			if !loopCanExit(fs) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopCanExit reports whether an infinite loop contains an exit: a
+// return, a panic, or a break that binds to this loop (directly, or via
+// a label on this loop).
+func loopCanExit(loop *ast.ForStmt) bool {
+	canExit := false
+	// depth counts enclosing break-capturing statements below the loop:
+	// an unlabeled break with depth > 0 exits something inner, not us.
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		if n == nil || canExit {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			canExit = true
+		case *ast.BranchStmt:
+			switch x.Tok.String() {
+			case "break":
+				if x.Label == nil && depth == 0 {
+					canExit = true
+				}
+				// A labeled break is resolved by the caller walking from
+				// the labeled statement; handled via labelBreaks below.
+			case "goto":
+				// A goto can jump anywhere, including out: give it the
+				// benefit of the doubt.
+				canExit = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				canExit = true
+			}
+			for _, a := range x.Args {
+				scan(a, depth)
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Unlabeled breaks inside bind to the inner statement.
+			for _, c := range children(n) {
+				scan(c, depth+1)
+			}
+		default:
+			for _, c := range children(n) {
+				scan(c, depth)
+			}
+		}
+	}
+	for _, s := range loop.Body.List {
+		scan(s, 0)
+	}
+	return canExit || labelBreaks(loop)
+}
+
+// labelBreaks reports whether the loop body contains a labeled break; the
+// label analysis is coarse (any labeled break is treated as a possible
+// exit), which errs toward accepting.
+func labelBreaks(loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok.String() == "break" && b.Label != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// children returns a node's direct AST children.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// unbufferedChans collects local channel variables created with
+// make(chan T) — no capacity — in the function, minus any the function
+// itself receives from (<-ch, range ch, select case <-ch): a send to a
+// never-received unbuffered channel from a goroutine blocks forever.
+func unbufferedChans(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	made := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue // make(chan T, n) is buffered; only 1-arg make counts
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if _, isChan := pass.Info.TypeOf(call.Args[0]).(*types.Chan); !isChan {
+				continue
+			}
+			lhs, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.Info.Defs[lhs]; obj != nil {
+				made[obj] = true
+			}
+		}
+		return true
+	})
+	if len(made) == 0 {
+		return nil
+	}
+	// Remove channels the spawner receives from anywhere (outside go
+	// bodies): the send has a partner.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						delete(made, obj)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					delete(made, obj)
+				}
+			}
+		}
+		return true
+	})
+	return made
+}
+
+// checkUnbufferedSends flags sends, inside a goroutine body, on spawn-site
+// unbuffered channels that the spawner never receives from.
+func checkUnbufferedSends(pass *Pass, gs *ast.GoStmt, body *ast.BlockStmt, unbuffered map[types.Object]bool) {
+	if len(unbuffered) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(send.Chan).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && unbuffered[obj] {
+			pass.Reportf(send.Pos(),
+				"goroutine may block forever: send on unbuffered channel %s that the spawning function never receives from — buffer it or receive on every path", id.Name)
+		}
+		return true
+	})
+}

@@ -10,6 +10,15 @@
 //	wallclock   bare time.Now/time.Since only where wall-clock is the point
 //	atomicfield fields touched via sync/atomic are atomic everywhere
 //	errsink     error results of repo-internal calls are never dropped
+//	sigflow     every knob read on the block-scan path is cache-key material
+//	lockgraph   the module-wide lock-acquisition graph is acyclic
+//	goleak      every spawned goroutine has a provable termination path
+//
+// The last three are whole-module dataflow analyses: package passes export
+// typed facts (per-function field-read summaries, lock-acquisition edges,
+// nontermination marks) that dependent packages' passes and a module-level
+// Finish phase consume — the dependency-free mirror of x/tools analysis
+// facts over the shared loader.
 //
 // Each analyzer documents the invariant it enforces next to its Run
 // function; ARCHITECTURE.md's "Invariants" section lists them all.
@@ -38,6 +47,15 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+
+	// FactTypes declares the fact types this analyzer exports; exporting an
+	// undeclared type panics. Analyzers with no entry are purely local.
+	FactTypes []Fact
+
+	// Finish, if set, runs once after every package pass, with the
+	// whole-module fact store — the place for properties no single package
+	// can see (a lock-acquisition cycle through three packages).
+	Finish func(*ModulePass) error
 }
 
 // A Pass holds one analyzer's view of one loaded package.
@@ -63,6 +81,7 @@ type Pass struct {
 
 	diags  *[]Diagnostic
 	allows map[string][]allowDirective // filename → directives
+	facts  *FactSet
 }
 
 // Diagnostic is one reported violation.
@@ -151,12 +170,59 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // diagnostic, sorted by position. Malformed lint:allow comments are
 // reported once per package set regardless of which analyzers run.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersFacts(pkgs, analyzers)
+	return diags, err
+}
+
+// expandUniverse returns the requested packages plus their transitive
+// module-local dependencies in dependency order (imports before
+// importers), so a pass can import any fact a dependency's pass exported.
+func expandUniverse(pkgs []*Package) []*Package {
+	var order []*Package
+	seen := make(map[*Package]bool)
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, dep := range p.Imports {
+			visit(dep)
+		}
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// RunAnalyzersFacts is RunAnalyzers exposing the fact store: packages are
+// analyzed in dependency order — including dependencies of the requested
+// set, whose passes run facts-only (their diagnostics belong to runs that
+// request them) — then each analyzer's Finish hook sees the whole module.
+func RunAnalyzersFacts(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *FactSet, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	facts := newFactSet()
+	requested := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		requested[p] = true
+	}
+	universe := expandUniverse(pkgs)
+	allAllows := make(map[string][]allowDirective)
+	var fset *token.FileSet
+	for _, pkg := range universe {
+		fset = pkg.Fset
+		var discard []Diagnostic
+		sink := &diags
+		if !requested[pkg] {
+			sink = &discard
+		}
 		allows := make(map[string][]allowDirective)
 		for _, f := range pkg.Files {
 			name := pkg.Fset.Position(f.Pos()).Filename
-			allows[name] = parseAllows(pkg.Fset, f, func(d Diagnostic) { diags = append(diags, d) })
+			allows[name] = parseAllows(pkg.Fset, f, func(d Diagnostic) { *sink = append(*sink, d) })
+			allAllows[name] = allows[name]
 		}
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -168,12 +234,29 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Info:       pkg.Info,
 				RelPath:    pkg.RelPath,
 				IsLocalPkg: pkg.IsLocal,
-				diags:      &diags,
+				diags:      sink,
 				allows:     allows,
+				facts:      facts,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     universe,
+			facts:    facts,
+			allows:   allAllows,
+			diags:    &diags,
+		}
+		if err := a.Finish(mp); err != nil {
+			return nil, nil, fmt.Errorf("%s: finish: %v", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -189,10 +272,12 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, facts, nil
 }
 
-// All returns the full hailint suite in stable order.
+// All returns the full hailint suite in stable order: the six per-package
+// rules of the original suite, then the three whole-module dataflow
+// analyzers built on the facts mechanism.
 func All() []*Analyzer {
 	return []*Analyzer{
 		SpanEnd,
@@ -201,6 +286,9 @@ func All() []*Analyzer {
 		WallClock,
 		AtomicField,
 		ErrSink,
+		SigFlow,
+		LockGraph,
+		GoLeak,
 	}
 }
 

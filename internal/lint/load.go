@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -29,6 +30,10 @@ type Package struct {
 	// IsLocal reports whether an import path belongs to the tree under
 	// analysis rather than to the standard library.
 	IsLocal func(path string) bool
+	// Imports are the package's module-local (or fixture-local) direct
+	// dependencies, sorted by path. RunAnalyzers follows them to analyze
+	// dependencies first, so cross-package facts are available on import.
+	Imports []*Package
 }
 
 // loader type-checks packages from source with no toolchain help beyond
@@ -166,6 +171,22 @@ func (l *loader) load(path string) (*Package, error) {
 		RelPath: l.relPath(path),
 		IsLocal: l.isLocal,
 	}
+	// Local imports were loaded (and memoized) by conf.Check via Import;
+	// record them so analysis can run dependencies first.
+	depSeen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || depSeen[p] || !l.isLocal(p) {
+				continue
+			}
+			depSeen[p] = true
+			if dep, ok := l.loaded[p]; ok {
+				pkg.Imports = append(pkg.Imports, dep)
+			}
+		}
+	}
+	sort.Slice(pkg.Imports, func(i, j int) bool { return pkg.Imports[i].Path < pkg.Imports[j].Path })
 	l.loaded[path] = pkg
 	return pkg, nil
 }
@@ -191,7 +212,12 @@ func moduleName(root string) (string, error) {
 // are not loaded: the invariants gate the shipped tree, and test-only
 // packages would drag the loader through external test-package plumbing
 // for no gain.
-func LoadModule(root string, patterns []string) ([]*Package, error) {
+func LoadModule(root string, patterns []string) (pkgs []*Package, err error) {
+	// The parser and type checker are fed arbitrary on-disk source; a
+	// panic anywhere below (go/types has a history of crashers on exotic
+	// inputs) must surface as a load error, not take down the CLI. The
+	// loader fuzz test pins this contract.
+	defer recoverLoadPanic(&err)
 	mod, err := moduleName(root)
 	if err != nil {
 		return nil, err
@@ -247,7 +273,6 @@ func LoadModule(root string, patterns []string) ([]*Package, error) {
 	}
 	sort.Strings(dirs)
 
-	var pkgs []*Package
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -282,8 +307,17 @@ func hasGoFiles(dir string) bool {
 // LoadFixture loads one package from an analysistest-style fixture root
 // (root/src/<path>), resolving the fixture's own imports against the same
 // tree — testdata packages can model obs/hdfs shapes without importing the
-// real modules.
-func LoadFixture(root, path string) (*Package, error) {
+// real modules. Fixture-local imports come back on Package.Imports, so
+// RunAnalyzers sees them and computes their facts first.
+func LoadFixture(root, path string) (pkg *Package, err error) {
+	defer recoverLoadPanic(&err)
 	l := newLoader(filepath.Join(root, "src"), "")
 	return l.load(path)
+}
+
+// recoverLoadPanic converts a panic in the load path into an error.
+func recoverLoadPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("lint: loader panic: %v", r)
+	}
 }

@@ -25,10 +25,17 @@ var lockFacadeTypes = map[string]bool{"NameNode": true, "Cluster": true, "DataNo
 // call to an exported NameNode/Cluster/DataNode method before the plain
 // Unlock. A deferred Unlock keeps the section open to the function's end,
 // which is exactly when the rule matters most.
+// lockgraph generalizes this rule to a module-wide acquisition graph with
+// cycle detection; lockorder stays for its sharper leaf-discipline
+// diagnostics (counting lock()/rlock() helpers, façade-call bans) that
+// the class-level graph cannot express.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc:  "shard/datanode locks must not nest, and no façade calls under them",
 	Run:  runLockOrder,
+	// Purely local by design: the dirShard/DataNode leaf locks are
+	// package-private, so every critical section is visible in-package.
+	FactTypes: nil,
 }
 
 func runLockOrder(pass *Pass) error {

@@ -24,6 +24,9 @@ var SpanEnd = &Analyzer{
 	Name: "spanend",
 	Doc:  "every obs span must End() on all paths or escape",
 	Run:  runSpanEnd,
+	// Purely local: a span that escapes the function (returned, stored) is
+	// accepted here, so no cross-package fact is needed.
+	FactTypes: nil,
 }
 
 func runSpanEnd(pass *Pass) error {

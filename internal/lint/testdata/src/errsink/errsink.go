@@ -35,6 +35,36 @@ func droppedGo() {
 	go save() // want `error result of save dropped`
 }
 
+// blankParallel: in a parallel tuple assignment every right-hand side is
+// single-valued, so a blank slot paired with an error-returning call
+// drops that error — the blind spot the v2 errsink closes.
+func blankParallel() int {
+	n, _ := count(), save() // want `error result of save assigned to blank identifier`
+	return n
+}
+
+// blankParallelSwapped: the error slot's position does not matter.
+func blankParallelSwapped() int {
+	_, n := save(), count() // want `error result of save assigned to blank identifier`
+	return n
+}
+
+// blankIfInit / blankForInit: init-statement assignments are statements
+// like any other — regression-pinned so a future walker rewrite cannot
+// skip them.
+func blankIfInit() int {
+	if n, _ := load(); n > 0 { // want `error result of load assigned to blank identifier`
+		return n
+	}
+	return 0
+}
+
+func blankForInit() {
+	for n, _ := load(); n < 3; n++ { // want `error result of load assigned to blank identifier`
+		_ = n
+	}
+}
+
 // handled: the error reaches a branch.
 func handled() error {
 	if err := save(); err != nil {

@@ -1,0 +1,137 @@
+// The goleak fixture demonstrates both leak shapes on spawned
+// goroutines — nonterminating bodies (directly, through a local wrapper,
+// and across the package boundary via the work dependency's facts) and
+// sends on unbuffered spawn-site channels the spawner never receives
+// from — next to the accepted disciplines: stop channels, buffered
+// channels, received-from channels, and finite predicate loops.
+package goleak
+
+import "work"
+
+func step() {}
+
+// spin never returns; wrap looks finite but transitively never returns;
+// localWrap chains the local call graph into the work package's fact.
+func spin() {
+	for {
+		step()
+	}
+}
+
+func wrap() {
+	spin()
+}
+
+func localWrap() {
+	work.Forever()
+}
+
+// Literal bodies are analyzed in place.
+func spawnLitLoop() {
+	go func() { // want `goroutine never terminates: infinite loop with no return/break`
+		for {
+			step()
+		}
+	}()
+}
+
+// The classic bug goleak models precisely: break exits the select, not
+// the for, so this loop has no exit.
+func breakInSelect(stop chan struct{}) {
+	go func() { // want `goroutine never terminates: infinite loop with no return/break`
+		for {
+			select {
+			case <-stop:
+				break
+			}
+		}
+	}()
+}
+
+// Named spawns resolve through the nontermination closure…
+func spawnNamed() {
+	go spin() // want `goroutine never terminates: spin loops forever with no return/break`
+}
+
+func spawnWrapped() {
+	go wrap() // want `goroutine never terminates: wrap loops forever with no return/break`
+}
+
+// …and across the package boundary through facts, directly or via a
+// local wrapper.
+func spawnCross() {
+	go work.Forever() // want `goroutine never terminates: Forever loops forever with no return/break`
+}
+
+func spawnLocalWrap() {
+	go localWrap() // want `goroutine never terminates: localWrap loops forever with no return/break`
+}
+
+func compute() int { return 42 }
+
+// The early-return-on-timeout shape: once the spawner returns, the send
+// blocks forever.
+func timeoutRace() {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want `goroutine may block forever: send on unbuffered channel ch`
+	}()
+}
+
+// Accepted: a stop-channel case ends the loop.
+func stopChannel(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// Accepted: the dependency's loop carries the stop discipline.
+func stopCross(stop chan struct{}) {
+	go work.Until(stop)
+}
+
+// Accepted: a buffered channel absorbs the send (cmd/haild's serveErr).
+func buffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+}
+
+// Accepted: the spawner receives, so the send has a partner.
+func received() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+// Accepted: a predicate loop is finite.
+func predicateLoop(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			step()
+		}
+	}()
+}
+
+// Accepted: a labeled break is an exit even from inside a select.
+func labeledBreak(stop chan struct{}) {
+	go func() {
+	pump:
+		for {
+			select {
+			case <-stop:
+				break pump
+			}
+		}
+	}()
+}

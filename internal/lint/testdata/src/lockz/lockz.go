@@ -1,0 +1,43 @@
+// Package lockz models a storage dependency for the lockgraph fixture:
+// Store.Put acquires the store mutex and, under it, the registry lock —
+// the intra-package edge lockz.Store.mu → lockz.Reg.Mu that the analyzer
+// exports as a package fact, plus the lockAcquiresFact on Put that lets
+// a dependent package holding its own lock see the nesting without
+// re-analysis.
+package lockz
+
+import "sync"
+
+// Reg is a shared registry with an exported lock, so dependents can take
+// sections on it directly (the shape hdfs exposes through lock()/rlock()
+// helpers).
+type Reg struct {
+	Mu sync.RWMutex
+	N  int
+}
+
+// Store guards its state with an unexported mutex and updates the
+// registry under it.
+type Store struct {
+	mu  sync.Mutex
+	reg *Reg
+	n   int
+}
+
+// Put stores a value and bumps the registry: Store.mu is held across the
+// Reg.Mu section.
+func (s *Store) Put(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += v
+	s.reg.Mu.Lock()
+	s.reg.N += v
+	s.reg.Mu.Unlock()
+}
+
+// Size reads under the store lock alone — no edge.
+func (s *Store) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

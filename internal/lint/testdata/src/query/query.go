@@ -1,0 +1,44 @@
+// Package query models repro/internal/query for the sigflow fixture: the
+// signature canonicalization (Signature → Canonical) reads Column, Lo and
+// Hi — but deliberately not Aux — so a dependent fixture package
+// exercises cross-package field-read facts in both directions: keyed
+// fields imported into the keyed closure, and an unkeyed one surfacing as
+// a finding at its scan-path read site.
+package query
+
+import "strconv"
+
+// Predicate is one conjunct. Aux is a knob the canonicalization ignores.
+type Predicate struct {
+	Column int
+	Lo, Hi int
+	Aux    int
+}
+
+// Canonical renders the conjunct for signature purposes.
+func (p Predicate) Canonical() string {
+	return strconv.Itoa(p.Column) + ":" + strconv.Itoa(p.Lo) + "-" + strconv.Itoa(p.Hi)
+}
+
+// Matches applies the conjunct to one value.
+func (p Predicate) Matches(v int) bool {
+	return p.Lo <= v && v <= p.Hi
+}
+
+// Query is a conjunction plus a projection.
+type Query struct {
+	Filter     []Predicate
+	Projection []int
+}
+
+// Signature is the cache key's query component.
+func (q *Query) Signature() string {
+	s := ""
+	for _, p := range q.Filter {
+		s += p.Canonical() + ";"
+	}
+	for _, c := range q.Projection {
+		s += strconv.Itoa(c) + ","
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+// The sigflow fixture models core.InputFormat against the fixture query
+// package: QuerySignature keys the query (via cross-package facts) and
+// the local Compress knob; Open and the reader it constructs form the
+// block-scan path. Two unkeyed knobs must surface: the local RowPath
+// field read in Open, and the query package's Aux predicate field read in
+// the reader — the latter proving the scan-side closure crosses package
+// boundaries through facts too.
+package sigflow
+
+import "query"
+
+type InputFormat struct {
+	Query    *query.Query
+	RowPath  bool
+	Compress bool
+	hits     int64
+}
+
+// QuerySignature keys the query and the compression knob — but not
+// RowPath.
+func (f *InputFormat) QuerySignature() (string, bool) {
+	sig := f.Query.Signature()
+	if f.Compress {
+		sig = "z|" + sig
+	}
+	return sig, true
+}
+
+type reader struct {
+	q        *query.Query
+	rowPath  bool
+	compress bool
+}
+
+// Open builds the scan-path reader. Reading RowPath here without keying
+// it is the stale-cache incident sigflow exists to prevent.
+func (f *InputFormat) Open() *reader {
+	return &reader{
+		q:        f.Query,
+		rowPath:  f.RowPath, // want `sigflow\.InputFormat\.RowPath is read on the block-scan path but never flows into InputFormat\.QuerySignature`
+		compress: f.Compress,
+	}
+}
+
+// Read scans with the query; Aux changes the output but is not part of
+// query.Signature, so the cache would serve stale bytes when it changes.
+func (r *reader) Read() int {
+	n := 0
+	for _, p := range r.q.Filter {
+		if p.Matches(10) {
+			n += p.Aux // want `query\.Predicate\.Aux is read on the block-scan path but never flows into InputFormat\.QuerySignature`
+		}
+	}
+	if r.compress {
+		n = -n
+	}
+	return n
+}

@@ -1,0 +1,29 @@
+// Package work models a background-worker dependency for the goleak
+// fixture: Forever's nontermination is exported as an object fact, so a
+// dependent package spawning it (directly or through a wrapper) is
+// reported without re-analysis; Until carries the stop-channel
+// discipline and passes.
+package work
+
+// Forever pumps the queue and never returns: an infinite for with no
+// return, break, or panic.
+func Forever() {
+	for {
+		step()
+	}
+}
+
+// Until pumps the queue until stop closes — the termination path goleak
+// requires of resident loops.
+func Until(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			step()
+		}
+	}
+}
+
+func step() {}

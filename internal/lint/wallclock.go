@@ -26,6 +26,8 @@ var WallClock = &Analyzer{
 	Name: "wallclock",
 	Doc:  "bare time.Now/time.Since outside harness, obs, tests, and Observe-fed timing",
 	Run:  runWallClock,
+	// Purely local: the clock discipline is judged at each call site.
+	FactTypes: nil,
 }
 
 func wallclockExemptPath(rel string) bool {
